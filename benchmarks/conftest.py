@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the experiment on the simulated machine, prints the
+same rows/series the paper reports, and asserts the paper's *qualitative
+shape* (who wins, roughly by how much, where the crossovers are).
+pytest-benchmark records the harness wall time; the interesting output is
+the simulated-cycle data, which is also replayed after the run summary
+(so ``pytest benchmarks/ --benchmark-only`` shows every regenerated
+table without ``-s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Everything shown by benchmarks this session, replayed at the end.
+_collected_reports = []
+
+
+def banner(text):
+    line = "=" * max(64, len(text) + 4)
+    return f"\n{line}\n{text}\n{line}"
+
+
+@pytest.fixture
+def show():
+    """Print a regenerated table/figure and queue it for the
+    end-of-session replay."""
+    def _show(*chunks):
+        print()
+        for chunk in chunks:
+            print(chunk)
+            _collected_reports.append(str(chunk))
+    return _show
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected_reports:
+        return
+    terminalreporter.section("regenerated tables and figures")
+    for chunk in _collected_reports:
+        for line in chunk.splitlines():
+            terminalreporter.write_line(line)

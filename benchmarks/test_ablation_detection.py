@@ -1,0 +1,117 @@
+"""Ablation (paper §2.2/§6.1): conflict-detection and versioning policies.
+
+The paper's design space: lazy detection with a write-buffer (the
+evaluated TCC-style machine) vs eager detection (UTM/LogTM-style) with
+either a write-buffer or an undo-log.  This ablation runs shared-counter
+and B-tree pressure workloads under all three legal combinations and
+reports cycles, violations, and stalls.  All must produce the same final
+state; their performance signatures differ (eager machines pay stalls,
+lazy machines pay doomed execution).
+"""
+
+import random
+
+from repro.common.params import functional_config, paper_config
+from repro.harness.report import format_table
+from repro.mem.btree import BTree
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+from benchmarks.conftest import banner
+
+MODES = [
+    ("lazy + write-buffer", dict(detection="lazy",
+                                 versioning="write_buffer")),
+    ("eager + write-buffer", dict(detection="eager",
+                                  versioning="write_buffer")),
+    ("eager + undo-log", dict(detection="eager", versioning="undo_log")),
+]
+
+COUNTER = 0xE_0000
+
+
+def counter_pressure(config):
+    machine = Machine(config)
+    runtime = Runtime(machine)
+
+    def program(t):
+        def body(t):
+            value = yield t.load(COUNTER)
+            yield t.alu(30)
+            yield t.store(COUNTER, value + 1)
+
+        for _ in range(8):
+            yield from runtime.atomic(t, body)
+            yield t.alu(40)
+
+    for cpu in range(config.n_cpus):
+        runtime.spawn(program, cpu_id=cpu)
+    machine.run(max_cycles=100_000_000)
+    return machine
+
+
+def btree_pressure(config):
+    machine = Machine(config)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    tree = BTree(arena, capacity_nodes=300)
+    keys = list(range(1, 129))
+    random.Random(5).shuffle(keys)
+    chunks = [keys[i::config.n_cpus] for i in range(config.n_cpus)]
+
+    def program(t, chunk):
+        for key in chunk:
+            def body(t, key=key):
+                yield from tree.insert(t, key, key)
+            yield from runtime.atomic(t, body)
+
+    for cpu, chunk in enumerate(chunks):
+        runtime.spawn(program, chunk, cpu_id=cpu)
+    machine.run(max_cycles=200_000_000)
+    assert [k for k, _ in tree.items_host(machine.memory)] == sorted(keys)
+    return machine
+
+
+def run_ablation():
+    results = {}
+    for label, overrides in MODES:
+        config = paper_config(n_cpus=8, **overrides)
+        machine = counter_pressure(config)
+        assert machine.memory.read(COUNTER) == 8 * 8
+        results[("counter", label)] = machine
+        results[("btree", label)] = btree_pressure(
+            paper_config(n_cpus=4, **overrides))
+    return results
+
+
+def test_detection_versioning_ablation(benchmark, show):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for workload in ("counter", "btree"):
+        for label, _ in MODES:
+            machine = results[(workload, label)]
+            stats = machine.stats
+            rows.append((
+                workload,
+                label,
+                stats.get("cycles"),
+                stats.total("htm.violations_received"),
+                stats.get("htm.conflicts.stalls"),
+                stats.total("htm.restarts"),
+            ))
+    show(banner("Ablation: conflict detection x versioning"),
+         format_table(
+             ["workload", "machine", "cycles", "violations",
+              "stalls", "restarts"], rows))
+
+    # Signature checks: the stall mechanism exists only on eager machines.
+    for workload in ("counter", "btree"):
+        lazy = results[(workload, "lazy + write-buffer")]
+        assert lazy.stats.get("htm.conflicts.stalls") == 0
+    # Each machine completed the identical work (verified in run_ablation)
+    # within a sane factor of the others.
+    for workload in ("counter", "btree"):
+        cycles = [results[(workload, label)].stats.get("cycles")
+                  for label, _ in MODES]
+        assert max(cycles) < 12 * min(cycles)

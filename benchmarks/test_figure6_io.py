@@ -1,0 +1,58 @@
+"""Section 7.2: I/O within transactions — the logging microbenchmark.
+
+"Each thread repeatedly performs a small computation within a transaction
+and outputs a message into a log" via the transactional I/O library
+(buffered output + commit handler).  The paper reports scalable
+performance: throughput must grow with thread count, because the commit
+handler serializes only the tiny metadata update, not the computation.
+"""
+
+from repro.common.params import paper_config
+from repro.harness.experiment import scaling_curve
+from repro.harness.report import format_scaling
+
+from repro.workloads import IoLogWorkload
+
+from benchmarks.conftest import banner
+
+COUNTS = [1, 2, 4, 8, 16]
+
+
+def run_scaling():
+    return scaling_curve(
+        lambda n: IoLogWorkload(n_threads=n),
+        counts=COUNTS,
+        config_factory=lambda n: paper_config(n_cpus=n),
+        items_of=lambda w: w.n_threads * w._records,
+    )
+
+
+def test_figure6_transactional_io_scales(benchmark, show):
+    points = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    show(banner("Section 7.2: transactional I/O microbenchmark"),
+         format_scaling(points, "log records vs CPUs",
+                        item_label="records"))
+    by_n = {p.n: p for p in points}
+    # Scalable: monotonic throughput growth, substantial at 8 and 16 CPUs.
+    for small, large in zip(COUNTS, COUNTS[1:]):
+        assert by_n[large].throughput > by_n[small].throughput, (
+            f"throughput fell from {small} to {large} threads")
+    assert by_n[8].throughput >= 3.0 * by_n[1].throughput
+    assert by_n[16].throughput >= 4.0 * by_n[1].throughput
+
+
+def test_figure6_output_is_exactly_once(benchmark, show):
+    """The correctness half: buffered transactional output loses and
+    duplicates nothing even under conflicts."""
+    def run():
+        workload = IoLogWorkload(n_threads=8)
+        machine = workload.run(paper_config(n_cpus=8))
+        return workload, machine
+
+    workload, machine = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = workload.n_threads * workload._records
+    show(banner("transactional I/O: exactly-once check"),
+         f"records in log: {len(workload.log.data)} (expected {expected}); "
+         f"flushes: {machine.stats.total('txio.flushes')}")
+    assert len(workload.log.data) == expected
+    assert len(set(workload.log.data)) == expected

@@ -1,0 +1,86 @@
+"""Section 7's overhead claim, isolated.
+
+"Overall, no application is affected negatively by the overhead of TCB
+and handler management for nested transactions.  Most outer transactions
+are long and can amortize the short overheads of the new functionality."
+
+This benchmark isolates that claim from conflict effects: a *zero
+conflict* workload (each thread updates only its own data) runs with
+nesting support and under flattening.  The cycle difference is then pure
+TCB/handler management; it must be small and it must shrink as the outer
+transaction grows.
+"""
+
+from repro.common.params import paper_config
+from repro.harness.report import format_table
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+from benchmarks.conftest import banner
+
+BASE = 0x18_0000
+STRIDE = 0x10_000
+
+
+def run_conflict_free(outer_work, mode, inner_txs=2):
+    """``mode``: "nested" (real closed nesting), or "inlined" (the
+    conventional baseline: the same work with no nested atomic blocks at
+    all — no TCB frames, no handler-stack management for the inners)."""
+    machine = Machine(paper_config(n_cpus=8))
+    runtime = Runtime(machine)
+
+    def program(t):
+        base = BASE + t.cpu_id * STRIDE
+
+        def inner(t, index):
+            value = yield t.load(base + 0x8000 + index * 32)
+            yield t.store(base + 0x8000 + index * 32, value + 1)
+
+        def outer(t):
+            for i in range(outer_work):
+                value = yield t.load(base + i * 4)
+                yield t.alu(4)
+                yield t.store(base + i * 4, value + 1)
+            for index in range(inner_txs):
+                if mode == "nested":
+                    yield from runtime.atomic(t, inner, index)
+                else:
+                    yield from inner(t, index)
+
+        for _ in range(6):
+            yield from runtime.atomic(t, outer)
+
+    for cpu in range(8):
+        runtime.spawn(program, cpu_id=cpu)
+    machine.run()
+    assert machine.stats.total("htm.violations_received") == 0
+    return machine.stats.get("cycles")
+
+
+def run_sensitivity():
+    rows = []
+    for outer_work in (8, 32, 128):
+        inlined = run_conflict_free(outer_work, mode="inlined")
+        nested = run_conflict_free(outer_work, mode="nested")
+        rows.append((outer_work, inlined, nested,
+                     (nested - inlined) / inlined * 100.0))
+    return rows
+
+
+def test_nesting_overhead_amortizes(benchmark, show):
+    rows = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    show(banner("Nesting-support overhead on a conflict-free workload"),
+         format_table(
+             ["outer size (ops)", "inlined cycles", "nested cycles",
+              "overhead %"],
+             [(w, f, n, f"{pct:+.1f}%") for w, f, n, pct in rows]))
+    overheads = [pct for _, _, _, pct in rows]
+    # TCB/handler management is real work on toy-sized transactions (the
+    # paper tuned it to ~16 instructions per nested commit pair, which is
+    # a large fraction of an 8-op transaction)...
+    assert all(pct < 40.0 for pct in overheads), overheads
+    # ...but amortizes as the outer grows ("most outer transactions are
+    # long and can amortize the short overheads"): monotonically
+    # shrinking, and small at realistic sizes.
+    assert overheads[0] > overheads[1] > overheads[2]
+    assert overheads[-1] < 6.0, overheads

@@ -1,0 +1,61 @@
+"""Scalability curves: the full CPU sweep behind Figure 5's annotations.
+
+The paper annotates each Figure 5 bar with the nested version's speedup
+over 1-CPU sequential execution at 8 CPUs.  This benchmark produces the
+whole strong-scaling curve (1-16 CPUs) for a low-conflict kernel (swim),
+the dramatic kernel (mp3d), and the warehouse, on both the nested and
+flattened machines — making the claim behind the figure visible: nesting
+extends the scaling of conflict-heavy workloads, and costs nothing on
+conflict-light ones.
+"""
+
+from repro.harness.sweep import format_speedup_curve, speedup_curve
+from repro.workloads import JbbWorkload, Mp3dKernel, SwimKernel
+
+from benchmarks.conftest import banner
+
+CPU_COUNTS = (1, 2, 4, 8, 16)
+
+CASES = [
+    ("swim", lambda n: SwimKernel(n_threads=n)),
+    ("mp3d", lambda n: Mp3dKernel(n_threads=n)),
+    ("SPECjbb2000-closed", lambda n: JbbWorkload(n_threads=n)),
+]
+
+
+def run_curves():
+    curves = {}
+    for name, factory in CASES:
+        curves[(name, "nested")] = speedup_curve(
+            factory, cpu_counts=CPU_COUNTS)
+        curves[(name, "flat")] = speedup_curve(
+            factory, cpu_counts=CPU_COUNTS,
+            config_overrides=dict(flatten=True))
+    return curves
+
+
+def test_scalability_curves(benchmark, show):
+    curves = benchmark.pedantic(run_curves, rounds=1, iterations=1)
+    blocks = []
+    for (name, mode), points in sorted(curves.items()):
+        blocks.append(format_speedup_curve(
+            points, f"{name} [{mode}]"))
+        blocks.append("")
+    show(banner("Strong scaling, 1-16 CPUs, nested vs flattened"),
+         "\n".join(blocks))
+
+    def at(name, mode, n):
+        return next(p for p in curves[(name, mode)] if p.n_cpus == n)
+
+    # Low-conflict kernels scale either way; nesting costs nothing.
+    assert at("swim", "nested", 8).speedup > 3.5
+    assert at("swim", "nested", 8).speedup \
+        >= 0.95 * at("swim", "flat", 8).speedup
+    # The dramatic case: flattening caps mp3d's scaling well below the
+    # nested machine at every width >= 4.
+    for n in (4, 8, 16):
+        assert at("mp3d", "nested", n).speedup \
+            > 1.3 * at("mp3d", "flat", n).speedup, n
+    # The warehouse keeps gaining CPUs under nesting.
+    assert at("SPECjbb2000-closed", "nested", 8).speedup \
+        > at("SPECjbb2000-closed", "nested", 2).speedup

@@ -1,0 +1,31 @@
+"""Section 7 overhead paragraph: the published instruction counts.
+
+"Starting a transaction requires 6 instructions for TCB allocation.  A
+commit without any handlers requires 10 instructions, while a rollback
+without handlers requires 6 instructions.  Registering a handler without
+arguments takes 9 instructions."
+
+This benchmark measures all four from the running machine and asserts
+exact equality with the published values.
+"""
+
+from repro.harness.inventory import (
+    PUBLISHED_OVERHEADS,
+    measure_overheads,
+)
+from repro.harness.report import format_table
+
+from benchmarks.conftest import banner
+
+
+def test_published_overheads(benchmark, show):
+    measured = benchmark.pedantic(measure_overheads, rounds=1, iterations=1)
+    rows = [
+        (event, PUBLISHED_OVERHEADS[event], measured[event],
+         "match" if measured[event] == PUBLISHED_OVERHEADS[event]
+         else "DIFFERS")
+        for event in PUBLISHED_OVERHEADS
+    ]
+    show(banner("Section 7 overheads: instructions per event"),
+         format_table(["event", "paper", "measured", "verdict"], rows))
+    assert measured == PUBLISHED_OVERHEADS

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Conditional synchronization without notify (paper §5, Figure 3).
+
+A producer and a consumer share a single-slot mailbox.  Neither ever
+calls notify: a thread that must wait registers a *watch* on the flag via
+an open-nested transaction and *retries* (parking its CPU).  A dedicated
+scheduler thread keeps every watched address in its read-set; when the
+other side's commit writes the flag, conflict detection fires the
+scheduler's violation handler, which wakes exactly the right thread.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro import Machine, Runtime, paper_config
+from repro.mem import SharedArena
+from repro.runtime.condsync import CondScheduler
+
+N_ITEMS = 12
+
+
+def main():
+    machine = Machine(paper_config(n_cpus=4))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    cond = CondScheduler(runtime, arena)
+
+    available = arena.alloc_word(0, isolate=True)
+    mailbox = arena.alloc_word(0, isolate=True)
+
+    def producer(t):
+        for item in range(1, N_ITEMS + 1):
+            def body(t, item=item):
+                full = yield t.load(available)
+                if full:                       # consumer hasn't taken it
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, available)
+                    yield from cond.retry(t)   # sleep until it changes
+                yield t.store(mailbox, item)
+                yield t.store(available, 1)
+            yield from cond.atomic(t, body)
+            yield t.alu(300)                   # produce the next item
+        yield from cond.cancel_watches(t)
+        return "producer-done"
+
+    def consumer(t):
+        received = []
+        for _ in range(N_ITEMS):
+            def body(t):
+                full = yield t.load(available)
+                if not full:                   # nothing to take yet
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, available)
+                    yield from cond.retry(t)
+                item = yield t.load(mailbox)
+                yield t.store(available, 0)
+                return item
+            received.append((yield from cond.atomic(t, body)))
+            yield t.alu(500)                   # consume slowly
+        yield from cond.cancel_watches(t)
+        return received
+
+    cond.spawn_scheduler(cpu_id=0)             # the Figure 3 scheduler
+    runtime.spawn(producer, cpu_id=1)
+    runtime.spawn(consumer, cpu_id=2)
+    cycles = machine.run(max_cycles=50_000_000)
+
+    received = machine.results()[2]
+    print(f"simulated {cycles} cycles")
+    print(f"consumer received: {received}")
+    print(f"parks: {machine.stats.total('rt.parks')}, "
+          f"wakeups: {machine.stats.total('condsync.wakeups')}, "
+          f"watches registered: {machine.stats.total('condsync.watches')}")
+    assert received == list(range(1, N_ITEMS + 1))
+    print("OK: in-order, exactly-once hand-off with no notify statements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of *Architectural Semantics for Practical
+Transactional Memory* (McDonald et al., ISCA 2006).
+
+An execution-driven chip-multiprocessor simulator with the paper's full
+HTM instruction set: two-phase transaction commit, software handlers on
+commit/violation/abort, and closed- and open-nested transactions with
+independent rollback — plus the software runtime, transactional system
+libraries (I/O, conditional synchronization, allocation), and the
+Section 7 workloads and experiments.
+
+Quick start::
+
+    from repro import Machine, Runtime, paper_config
+
+    machine = Machine(paper_config(n_cpus=2))
+    runtime = Runtime(machine)
+    counter = 0x1_0000
+
+    def body(t):
+        value = yield t.load(counter)
+        yield t.store(counter, value + 1)
+
+    def program(t):
+        for _ in range(10):
+            yield from runtime.atomic(t, body)
+
+    runtime.spawn(program)
+    runtime.spawn(program)
+    machine.run()
+    assert machine.memory.read(counter) == 20
+"""
+
+from repro.common.errors import (
+    CapacityAbort,
+    ReproError,
+    TxAborted,
+    TxRollback,
+)
+from repro.common.params import (
+    SystemConfig,
+    functional_config,
+    paper_config,
+)
+from repro.common.stats import Stats
+from repro.runtime.core import RESUME, Runtime
+from repro.sim.engine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityAbort",
+    "Machine",
+    "RESUME",
+    "ReproError",
+    "Runtime",
+    "Stats",
+    "SystemConfig",
+    "TxAborted",
+    "TxRollback",
+    "functional_config",
+    "paper_config",
+    "__version__",
+]

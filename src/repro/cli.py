@@ -1,0 +1,251 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+::
+
+    python -m repro figure5              # Figure 5, all nine bars
+    python -m repro io                   # §7.2 transactional-I/O scaling
+    python -m repro condsync             # conditional-scheduling scaling
+    python -m repro overheads            # §7 instruction-count table
+    python -m repro isa                  # Tables 1 and 2 inventories
+    python -m repro profile mp3d         # run one workload, print profile
+    python -m repro all                  # the whole evaluation
+
+Everything prints simulated-cycle results; all runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import paper_config
+from repro.harness.experiment import compare_nesting, scaling_curve
+from repro.harness.profile import format_profiles, profile_machine
+from repro.harness.report import (
+    format_bar_chart,
+    format_figure5,
+    format_scaling,
+    format_table,
+)
+from repro.workloads import (
+    CondSyncWorkload,
+    IoLogWorkload,
+    JbbWorkload,
+    SCIENTIFIC_KERNELS,
+)
+
+#: Workloads addressable from the command line.
+WORKLOADS = {kernel.name: kernel for kernel in SCIENTIFIC_KERNELS}
+WORKLOADS["jbb-closed"] = lambda **kw: JbbWorkload(variant="closed", **kw)
+WORKLOADS["jbb-open"] = lambda **kw: JbbWorkload(variant="open", **kw)
+WORKLOADS["iolog"] = IoLogWorkload
+
+
+def cmd_figure5(args):
+    comparisons = []
+    for kernel in SCIENTIFIC_KERNELS:
+        comparisons.append(compare_nesting(
+            lambda n, cls=kernel: cls(n_threads=n, scale=args.scale),
+            n_cpus=args.cpus))
+    for variant in ("closed", "open"):
+        comparisons.append(compare_nesting(
+            lambda n, v=variant: JbbWorkload(
+                n_threads=n, variant=v, scale=args.scale),
+            n_cpus=args.cpus))
+    print(format_figure5(comparisons))
+    print()
+    print(format_bar_chart(
+        [(c.name, c.improvement) for c in comparisons],
+        title="bar heights (nesting vs flattening):"))
+    json_path = getattr(args, "json", "")
+    if json_path:
+        from repro.harness.export import comparison_to_dict, dump_json
+
+        dump_json([comparison_to_dict(c) for c in comparisons], json_path)
+        print(f"wrote {json_path}")
+    return 0
+
+
+def cmd_io(args):
+    counts = [n for n in (1, 2, 4, 8, 16) if n <= args.max_threads]
+    points = scaling_curve(
+        lambda n: IoLogWorkload(n_threads=n, scale=args.scale),
+        counts=counts,
+        config_factory=lambda n: paper_config(n_cpus=n),
+        items_of=lambda w: w.n_threads * w._records,
+    )
+    print(format_scaling(points, "transactional I/O: log records vs CPUs",
+                         item_label="records"))
+    return 0
+
+
+def cmd_condsync(args):
+    counts = [p for p in (1, 2, 4, 7) if p <= args.max_pairs]
+    points = scaling_curve(
+        lambda pairs: CondSyncWorkload(n_pairs=pairs, scale=args.scale),
+        counts=counts,
+        config_factory=lambda pairs: paper_config(n_cpus=2 * pairs + 1),
+        items_of=lambda w: w.n_pairs * w._items,
+        max_cycles=100_000_000,
+    )
+    print(format_scaling(
+        points, "conditional scheduling: items vs producer/consumer pairs",
+        item_label="items"))
+    return 0
+
+
+def cmd_overheads(args):
+    from repro.harness.inventory import (
+        PUBLISHED_OVERHEADS,
+        measure_overheads,
+    )
+
+    measured = measure_overheads()
+    rows = [(event, PUBLISHED_OVERHEADS[event], measured[event])
+            for event in PUBLISHED_OVERHEADS]
+    print(format_table(["event", "paper", "measured"], rows,
+                       title="instructions per transactional event"))
+    return 0 if measured == PUBLISHED_OVERHEADS else 1
+
+
+def cmd_isa(args):
+    from repro.harness.inventory import (
+        TABLE1,
+        TABLE2,
+        exercise_every_instruction,
+    )
+
+    print(format_table(
+        ["state", "type", "description"],
+        [(name, storage, desc) for name, storage, desc in TABLE1],
+        title="Table 1: architectural state"))
+    print()
+    _, executed = exercise_every_instruction()
+    print(format_table(
+        ["instruction", "exercised", "description"],
+        [(name, "yes" if name in executed else "no", desc)
+         for name, _, desc in TABLE2],
+        title="Table 2: instructions"))
+    return 0
+
+
+def cmd_profile(args):
+    factory = WORKLOADS[args.workload]
+    profiles = []
+    for label, flatten in (("nested", False), ("flat", True)):
+        if args.flatten_only and not flatten:
+            continue
+        workload = factory(n_threads=args.cpus, scale=args.scale)
+        machine = workload.run(
+            paper_config(n_cpus=max(args.cpus, workload.min_cpus()),
+                         flatten=flatten))
+        profiles.append((f"{args.workload} [{label}]",
+                         profile_machine(machine)))
+    print(format_profiles(profiles,
+                          title=f"{args.workload} on {args.cpus} CPUs"))
+    return 0
+
+
+def cmd_trace(args):
+    from repro.common.params import paper_config
+    from repro.sim.trace import ALL_KINDS, Tracer
+    from repro.mem.layout import SharedArena
+    from repro.runtime.core import Runtime
+    from repro.sim.engine import Machine
+
+    kinds = (frozenset(args.kinds.split(",")) if args.kinds
+             else ALL_KINDS)
+    factory = WORKLOADS[args.workload]
+    workload = factory(n_threads=args.cpus, scale=args.scale)
+    machine = Machine(paper_config(
+        n_cpus=max(args.cpus, workload.min_cpus())))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    with Tracer(machine, kinds=kinds, limit=args.limit) as tracer:
+        workload.setup(machine, runtime, arena)
+        machine.run(max_cycles=2_000_000_000)
+        workload.verify(machine)
+        print(tracer.format())
+        print(f"... {len(tracer.events)} events shown "
+              f"(limit {args.limit}); kinds: {sorted(kinds)}")
+    return 0
+
+
+def cmd_all(args):
+    status = 0
+    for step in (cmd_isa, cmd_overheads, cmd_figure5, cmd_io, cmd_condsync):
+        print()
+        status |= step(args)
+        print()
+    return status
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ISCA 2006 HTM-semantics evaluation.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--cpus", type=int, default=8,
+                       help="worker CPUs (default 8, the paper's figure)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload size multiplier")
+
+    p = sub.add_parser("figure5", help="nesting vs flattening, all bars")
+    common(p)
+    p.add_argument("--json", default="",
+                   help="also write the results as JSON to this path")
+    p.set_defaults(fn=cmd_figure5)
+
+    p = sub.add_parser("io", help="transactional-I/O scaling (7.2)")
+    common(p)
+    p.add_argument("--max-threads", type=int, default=16)
+    p.set_defaults(fn=cmd_io)
+
+    p = sub.add_parser("condsync", help="conditional-scheduling scaling")
+    common(p)
+    p.add_argument("--max-pairs", type=int, default=7)
+    p.set_defaults(fn=cmd_condsync)
+
+    p = sub.add_parser("overheads", help="published instruction counts")
+    common(p)
+    p.set_defaults(fn=cmd_overheads)
+
+    p = sub.add_parser("isa", help="Table 1/2 inventories")
+    common(p)
+    p.set_defaults(fn=cmd_isa)
+
+    p = sub.add_parser("profile", help="run one workload, print a profile")
+    common(p)
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--flatten-only", action="store_true",
+                   help="skip the nested run")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("trace", help="run a workload and print its "
+                       "architectural event trace")
+    common(p)
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--kinds", default="",
+                   help="comma-separated event kinds (default: all)")
+    p.add_argument("--limit", type=int, default=60)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("all", help="the whole evaluation")
+    common(p)
+    p.add_argument("--max-threads", type=int, default=16)
+    p.add_argument("--max-pairs", type=int, default=7)
+    p.set_defaults(fn=cmd_all)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

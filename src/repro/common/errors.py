@@ -1,0 +1,128 @@
+"""Exception taxonomy for the simulator, HTM engine, ISA, and runtime.
+
+Two distinct families live here:
+
+* *Errors* (subclasses of :class:`ReproError`) indicate misuse of the
+  library or an internal invariant failure.  They are ordinary Python
+  exceptions and should never be caught by workload code.
+
+* *Control-flow signals* (subclasses of :class:`TxSignal`) implement the
+  architectural control transfers of the paper: rolling a transaction back
+  unwinds the Python frames of the transaction body, exactly like the
+  hardware discarding the speculative register state and jumping to the
+  restart PC.  The runtime's ``atomic`` wrapper catches these; user code
+  must not.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an illegal state.
+
+    Examples: two programs bound to one CPU, an operation yielded by a
+    thread that is not an :class:`~repro.sim.ops.Op`, or a deadlock in
+    which every live thread is waiting.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Every live, non-daemon thread is blocked and no wakeup is pending."""
+
+
+class IsaError(ReproError):
+    """An instruction was used in a way the ISA forbids.
+
+    Examples: ``xcommit`` with no active transaction, ``xvalidate`` on an
+    already-validated transaction, or exceeding the hardware nesting depth
+    without a virtualization handler installed.
+    """
+
+
+class MemoryError_(ReproError):
+    """Illegal access to the simulated address space (e.g. unmapped word)."""
+
+
+class HeapError(ReproError):
+    """Simulated heap misuse: double free, corrupt block header, OOM."""
+
+
+class ConfigError(ReproError):
+    """An unsupported combination of system parameters was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Architectural control-flow signals
+# ---------------------------------------------------------------------------
+
+class TxSignal(BaseException):
+    """Base class for architectural control transfers.
+
+    Derived from ``BaseException`` so that careless ``except Exception``
+    blocks inside workload code cannot swallow a rollback, mirroring the
+    fact that software cannot suppress a hardware register-state restore.
+    """
+
+
+class TxRollback(TxSignal):
+    """Unwind the transaction body down to (and including) ``level``.
+
+    Thrown by the engine into a thread's program generator after the
+    violation/abort dispatcher decided to roll back.  The ``atomic``
+    wrapper at each nesting level catches it; wrappers at levels deeper
+    than ``level`` re-raise so the signal reaches the right frame.
+
+    Attributes:
+        level:  1-based nesting level to restart (1 = outermost).
+        reason: one of ``"violation"``, ``"abort"``, ``"capacity"``.
+        code:   abort code passed to ``xabort`` (None for violations).
+        vaddr:  conflicting address, when the hardware captured one.
+    """
+
+    def __init__(self, level, reason, code=None, vaddr=None):
+        super().__init__(f"rollback to level {level} ({reason})")
+        self.level = level
+        self.reason = reason
+        self.code = code
+        self.vaddr = vaddr
+
+
+class CapacityAbort(TxRollback):
+    """Transactional state overflowed the hardware resources.
+
+    Raised when a nesting scheme runs out of per-line tracking bits
+    (multi-tracking) or cache ways (associativity), or when the nesting
+    depth exceeds the hardware limit.  This is the architectural interface
+    behind which a virtualization scheme (VTM/XTM-style) would sit.
+    """
+
+    def __init__(self, level, detail=""):
+        super().__init__(level, "capacity")
+        self.detail = detail
+
+
+class TxAborted(ReproError):
+    """A transaction ended via ``xabort`` and software chose not to retry.
+
+    Raised by the runtime's ``atomic`` wrapper (after cleanly terminating
+    the hardware transaction) so code outside the atomic block can react —
+    the substrate for language constructs like ``tryatomic`` and
+    ``AbortException`` (paper Section 5).
+    """
+
+    def __init__(self, code=None):
+        super().__init__(f"transaction aborted (code={code!r})")
+        self.code = code
+
+
+class RetrySignal(TxSignal):
+    """Raised by the condsync runtime to park the thread until a watched
+    address changes (the Atomos ``retry`` construct)."""
+
+    def __init__(self, level):
+        super().__init__(f"retry at level {level}")
+        self.level = level

@@ -1,0 +1,90 @@
+"""Hierarchical statistics counters.
+
+Every component of the machine (engine, caches, bus, HTM, runtime) records
+into a shared :class:`Stats` tree so experiments can report cycle counts,
+hit rates, violation counts, and instruction overheads without the
+components knowing about each other.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Stats:
+    """A tree of named integer counters.
+
+    ``stats.add("l1.hits")`` bumps a counter; ``stats.scope("cpu0")``
+    returns a child view whose counter names are prefixed, so per-CPU and
+    machine-wide numbers coexist: ``cpu0.l1.hits``.
+    """
+
+    def __init__(self):
+        self._counters = defaultdict(int)
+
+    def add(self, name, amount=1):
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] += amount
+
+    def set(self, name, value):
+        """Set counter ``name`` to ``value`` (for gauges like cycle count)."""
+        self._counters[name] = value
+
+    def get(self, name, default=0):
+        """Read counter ``name``."""
+        return self._counters.get(name, default)
+
+    def scope(self, prefix):
+        """Return a :class:`StatsScope` that prefixes all counter names."""
+        return StatsScope(self, prefix)
+
+    def matching(self, prefix):
+        """Return ``{name: value}`` for counters under ``prefix.``."""
+        dotted = prefix + "."
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(dotted)
+        }
+
+    def total(self, suffix):
+        """Sum every counter whose name ends with ``suffix``.
+
+        Useful for machine-wide aggregates over per-CPU scopes, e.g.
+        ``stats.total("htm.violations")``.
+        """
+        return sum(
+            value
+            for name, value in self._counters.items()
+            if name == suffix or name.endswith("." + suffix)
+        )
+
+    def as_dict(self):
+        """A plain-dict snapshot of every counter."""
+        return dict(self._counters)
+
+    def __repr__(self):
+        entries = ", ".join(
+            f"{name}={value}" for name, value in sorted(self._counters.items())
+        )
+        return f"Stats({entries})"
+
+
+class StatsScope:
+    """A prefixed view onto a :class:`Stats` tree."""
+
+    def __init__(self, stats, prefix):
+        self._stats = stats
+        self._prefix = prefix
+
+    def add(self, name, amount=1):
+        self._stats.add(f"{self._prefix}.{name}", amount)
+
+    def set(self, name, value):
+        self._stats.set(f"{self._prefix}.{name}", value)
+
+    def get(self, name, default=0):
+        return self._stats.get(f"{self._prefix}.{name}", default)
+
+    def scope(self, prefix):
+        return StatsScope(self._stats, f"{self._prefix}.{prefix}")

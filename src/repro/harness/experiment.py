@@ -1,0 +1,124 @@
+"""Experiment driver: the Section 7 methodology as reusable code.
+
+Each figure/table is a function returning structured results plus a
+formatted table whose rows mirror what the paper reports.  The benchmark
+suite (``benchmarks/``) calls these and asserts the paper's qualitative
+shape; examples and EXPERIMENTS.md use the same entry points, so every
+number in the documentation is regenerable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.params import paper_config
+
+
+@dataclasses.dataclass
+class RunResult:
+    """One workload execution."""
+
+    name: str
+    config_label: str
+    cycles: int
+    stats: dict
+
+    def stat_total(self, suffix):
+        return sum(v for k, v in self.stats.items()
+                   if k == suffix or k.endswith("." + suffix))
+
+
+def run_workload(workload, config, max_cycles=2_000_000_000,
+                 config_label=""):
+    """Run one workload on one machine configuration."""
+    machine = workload.run(config, max_cycles=max_cycles)
+    return RunResult(
+        name=workload.name,
+        config_label=config_label,
+        cycles=machine.stats.get("cycles"),
+        stats=machine.stats.as_dict(),
+    )
+
+
+@dataclasses.dataclass
+class NestingComparison:
+    """One Figure 5 bar: flat vs nested on ``n_cpus``, plus sequential."""
+
+    name: str
+    seq_cycles: int
+    flat_cycles: int
+    nested_cycles: int
+
+    @property
+    def improvement(self):
+        """Speedup of nesting over flattening (the bar height)."""
+        return self.flat_cycles / self.nested_cycles
+
+    @property
+    def total_speedup(self):
+        """Nested speedup over 1-CPU sequential (the bar annotation)."""
+        return self.seq_cycles / self.nested_cycles
+
+    @property
+    def flat_speedup(self):
+        return self.seq_cycles / self.flat_cycles
+
+
+def compare_nesting(workload_factory, n_cpus=8, config_overrides=None,
+                    max_cycles=2_000_000_000):
+    """Run the Figure 5 protocol for one workload.
+
+    ``workload_factory(n_threads)`` builds a fresh workload instance; the
+    same program runs sequentially (1 CPU), flattened (``n_cpus`` CPUs,
+    ``flatten=True``), and with full nesting support.
+    """
+    overrides = dict(config_overrides or {})
+
+    def config(n, flatten):
+        return paper_config(n_cpus=n, flatten=flatten, **overrides)
+
+    seq = run_workload(workload_factory(1), config(1, False),
+                       max_cycles=max_cycles, config_label="seq")
+    flat = run_workload(workload_factory(n_cpus), config(n_cpus, True),
+                        max_cycles=max_cycles, config_label="flat")
+    nested = run_workload(workload_factory(n_cpus), config(n_cpus, False),
+                          max_cycles=max_cycles, config_label="nested")
+    return NestingComparison(
+        name=nested.name,
+        seq_cycles=seq.cycles,
+        flat_cycles=flat.cycles,
+        nested_cycles=nested.cycles,
+    )
+
+
+@dataclasses.dataclass
+class ScalingPoint:
+    """One point of a throughput-scaling curve."""
+
+    n: int
+    cycles: int
+    work_items: int
+
+    @property
+    def throughput(self):
+        """Work items completed per kilocycle."""
+        return 1000.0 * self.work_items / self.cycles
+
+
+def scaling_curve(workload_factory, counts, config_factory, items_of,
+                  max_cycles=2_000_000_000):
+    """Run a workload at several thread counts; returns ScalingPoints.
+
+    ``workload_factory(n)`` builds the workload; ``config_factory(n)``
+    the machine; ``items_of(workload)`` the number of completed work
+    items (for throughput).
+    """
+    points = []
+    for n in counts:
+        workload = workload_factory(n)
+        result = run_workload(workload, config_factory(n),
+                              max_cycles=max_cycles,
+                              config_label=f"n={n}")
+        points.append(ScalingPoint(
+            n=n, cycles=result.cycles, work_items=items_of(workload)))
+    return points

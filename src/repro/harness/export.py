@@ -1,0 +1,74 @@
+"""Machine-readable experiment export (JSON/CSV).
+
+Labs script over results; every harness object here serializes to plain
+dicts, and the CLI grows ``--json`` via :func:`dump_json`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+
+def comparison_to_dict(comparison):
+    """Serialize a :class:`~repro.harness.experiment.NestingComparison`."""
+    return {
+        "name": comparison.name,
+        "seq_cycles": comparison.seq_cycles,
+        "flat_cycles": comparison.flat_cycles,
+        "nested_cycles": comparison.nested_cycles,
+        "improvement": comparison.improvement,
+        "total_speedup": comparison.total_speedup,
+        "flat_speedup": comparison.flat_speedup,
+    }
+
+
+def scaling_to_dicts(points):
+    """Serialize a list of :class:`~repro.harness.experiment
+    .ScalingPoint` or :class:`~repro.harness.sweep.SpeedupPoint`."""
+    out = []
+    for p in points:
+        entry = {"n": getattr(p, "n", getattr(p, "n_cpus", None)),
+                 "cycles": p.cycles}
+        if hasattr(p, "work_items"):
+            entry["work_items"] = p.work_items
+            entry["throughput"] = p.throughput
+        if hasattr(p, "speedup"):
+            entry["speedup"] = p.speedup
+        out.append(entry)
+    return out
+
+
+def profile_to_dict(profile):
+    """Serialize a :class:`~repro.harness.profile.Profile`."""
+    data = dict(vars(profile))
+    data["rollbacks_by_level"] = {
+        str(level): count
+        for level, count in profile.rollbacks_by_level.items()
+    }
+    return data
+
+
+def dump_json(payload, path=None):
+    """Serialize ``payload`` (pre-converted dicts) to JSON; returns the
+    text, writing it to ``path`` when given."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def rows_to_csv(headers, rows, path=None):
+    """Render rows as CSV; returns the text, writing ``path`` if given."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,151 @@
+"""The paper's Table 1 / Table 2 inventories and the §7 overhead
+measurement, as library data — shared by the benchmark suite and the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TxRollback
+from repro.common.params import functional_config
+from repro.runtime import overheads
+from repro.runtime.core import Runtime
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+#: Table 1 rows: (name, storage, description).
+TABLE1 = [
+    ("xstatus", "Reg",
+     "Transaction info: ID, type (closed, open), status, nesting level"),
+    ("xtcbptr_base", "Reg", "Base address of TCB stack"),
+    ("xtcbptr_top", "Reg", "Address of current TCB frame"),
+    ("xchcode", "Reg", "PC for commit handler code"),
+    ("xvhcode", "Reg", "PC for violation handler code"),
+    ("xahcode", "Reg", "PC for abort handler code"),
+    ("xchptr", "TCB", "Base/top of commit handler stack"),
+    ("xvhptr", "TCB", "Base/top of violation handler stack"),
+    ("xahptr", "TCB", "Base/top of abort handler stack"),
+    ("xvpc", "Reg", "Saved PC on violation or abort"),
+    ("xvaddr", "Reg", "Violation address (if available)"),
+    ("xvcurrent", "Reg", "Current violation mask: 1 bit per nesting level"),
+    ("xvpending", "Reg", "Pending violation mask: 1 bit per nesting level"),
+]
+
+#: Table 2 rows: (mnemonic, op class, description).
+TABLE2 = [
+    ("xbegin", O.XBegin, "Checkpoint registers & start (closed) tx"),
+    ("xbegin_open", O.XBegin, "Checkpoint registers & start open tx"),
+    ("xvalidate", O.XValidate, "Validate read-set for current tx"),
+    ("xcommit", O.XCommit, "Atomically commit current tx"),
+    ("xrwsetclear", O.XRwSetClear,
+     "Discard read-/write-set; clear xvpending at current level"),
+    ("xregrestore", O.XRegRestore, "Restore current register checkpoint"),
+    ("xabort", O.XAbort, "Abort current tx; jump to xahcode"),
+    ("xvret", O.XVRet, "Return from handler; jump to xvpc"),
+    ("xenviolrep", O.XEnViolRep, "Enable violation reporting"),
+    ("imld", O.ImLoad, "Load without adding to read-set"),
+    ("imst", O.ImStore, "Store without adding to write-set"),
+    ("imstid", O.ImStoreId, "Store without write-set, no undo info"),
+    ("release", O.Release, "Release an address from the read-set"),
+]
+
+#: The paper's Section 7 instruction counts per event.
+PUBLISHED_OVERHEADS = {
+    "xbegin": overheads.XBEGIN_INSTRUCTIONS,
+    "commit (no handlers)": overheads.COMMIT_NO_HANDLER_INSTRUCTIONS,
+    "rollback (no handlers)": overheads.ROLLBACK_NO_HANDLER_INSTRUCTIONS,
+    "register handler (no args)": overheads.REGISTER_HANDLER_INSTRUCTIONS,
+}
+
+_A = 0xC_0000
+_SHARED = 0xD_0000
+
+
+def exercise_every_instruction():
+    """One program that executes every Table 2 instruction; returns
+    (machine, set of exercised mnemonics)."""
+    machine = Machine(functional_config(n_cpus=1))
+    executed = set()
+
+    def program(t):
+        executed.add("xbegin")
+        yield O.XBegin()
+        yield O.ImStore(_A, 1)
+        executed.add("imst")
+        yield O.ImStoreId(_A + 4, 2)
+        executed.add("imstid")
+        value = yield O.ImLoad(_A)
+        assert value == 1
+        executed.add("imld")
+        yield O.Load(_A + 8)
+        yield O.Release(_A + 8)
+        executed.add("release")
+        executed.add("xbegin_open")
+        yield O.XBegin(open=True)
+        yield O.Store(_A + 12, 3)
+        yield O.XValidate()
+        executed.add("xvalidate")
+        yield O.XCommit()
+        executed.add("xcommit")
+        try:
+            yield O.XAbort("demo")
+        except TxRollback:
+            executed.add("xabort")
+            # the default dispatcher used xrwsetclear/xregrestore/xvret
+            executed.add("xrwsetclear")
+            executed.add("xregrestore")
+            executed.add("xvret")
+            yield O.XEnViolRep()
+            executed.add("xenviolrep")
+            yield O.XValidate()
+            yield O.XCommit()
+
+    machine.add_thread(program)
+    machine.run()
+    return machine, executed
+
+
+def measure_overheads():
+    """Measure the four §7 events on a live machine; returns a dict with
+    the same keys as :data:`PUBLISHED_OVERHEADS`."""
+    machine = Machine(functional_config(n_cpus=2))
+    runtime = Runtime(machine)
+    measured = {}
+
+    def noop_handler(t):
+        yield t.alu()
+
+    def victim(t):
+        start = t.instructions
+        yield from runtime.begin_tx(t)
+        measured["xbegin"] = t.instructions - start
+        start = t.instructions
+        yield from runtime.commit_tx(t)
+        measured["commit (no handlers)"] = t.instructions - start
+
+        yield from runtime.begin_tx(t)
+        start = t.instructions
+        yield from runtime.register_commit_handler(t, noop_handler)
+        measured["register handler (no args)"] = t.instructions - start
+        yield from runtime.commit_tx(t)
+
+        # Rollback without handlers: get violated by the other CPU.
+        def body(t):
+            value = yield t.load(_SHARED)
+            yield t.alu(300)
+            return value
+
+        yield from runtime.atomic(t, body)
+        measured["rollback (no handlers)"] = \
+            machine.stats.get("cpu0.handler_instructions")
+
+    def attacker(t):
+        yield t.alu(100)
+
+        def body(t):
+            yield t.store(_SHARED, 1)
+
+        yield from runtime.atomic(t, body)
+
+    runtime.spawn(victim, cpu_id=0)
+    runtime.spawn(attacker, cpu_id=1)
+    machine.run()
+    return measured

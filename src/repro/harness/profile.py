@@ -1,0 +1,110 @@
+"""Execution profiles: a structured summary of one machine run.
+
+Turns the raw statistics tree into the quantities an architect looks at
+— commits by kind, violations, rollbacks by nesting level, handler
+activity, cache hit rates, bus utilization — and renders them as a
+table.  Benchmarks print these next to the paper's figures so the
+*mechanisms* behind each number are visible, not just the cycle counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.harness.report import format_table
+
+
+@dataclasses.dataclass
+class Profile:
+    """A digested view of one run's statistics."""
+
+    cycles: int
+    instructions: int
+    commits_outer: int
+    commits_closed: int
+    commits_open: int
+    commits_flattened: int
+    violations: int
+    rollbacks_by_level: dict
+    handler_dispatches: int
+    handler_resumes: int
+    retries: int
+    validate_stalls: int
+    capacity_aborts: int
+    l1_hit_rate: float
+    l2_hit_rate: float
+    bus_utilization: float
+
+    @property
+    def total_commits(self):
+        return (self.commits_outer + self.commits_closed
+                + self.commits_open + self.commits_flattened)
+
+    @property
+    def violations_per_commit(self):
+        if not self.total_commits:
+            return 0.0
+        return self.violations / self.total_commits
+
+
+def profile_machine(machine):
+    """Build a :class:`Profile` from a finished machine."""
+    stats = machine.stats
+    levels = {}
+    for level in range(1, machine.config.max_nesting + 1):
+        count = stats.total(f"htm.rollbacks_to_level{level}")
+        if count:
+            levels[level] = count
+    l1_hits = stats.total("l1.hits")
+    l1_misses = stats.total("l1.misses")
+    l2_hits = stats.total("l2.hits")
+    l2_misses = stats.total("l2.misses")
+    cycles = stats.get("cycles") or machine.now or 1
+    return Profile(
+        cycles=stats.get("cycles", machine.now),
+        instructions=stats.total("instructions"),
+        commits_outer=stats.total("htm.commits_outer"),
+        commits_closed=stats.total("htm.commits_closed"),
+        commits_open=stats.total("htm.commits_open"),
+        commits_flattened=stats.total("htm.commits_flattened"),
+        violations=stats.total("htm.violations_received"),
+        rollbacks_by_level=levels,
+        handler_dispatches=(stats.total("htm.dispatches_violation")
+                            + stats.total("htm.dispatches_abort")),
+        handler_resumes=stats.total("htm.handler_resumes"),
+        retries=stats.total("rt.retries"),
+        validate_stalls=stats.total("htm.validate_stalls"),
+        capacity_aborts=stats.total("htm.capacity_aborts"),
+        l1_hit_rate=_rate(l1_hits, l1_misses),
+        l2_hit_rate=_rate(l2_hits, l2_misses),
+        bus_utilization=stats.get("bus.busy_cycles") / cycles,
+    )
+
+
+def _rate(hits, misses):
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def format_profiles(named_profiles, title="execution profile"):
+    """Render several runs' profiles side by side."""
+    rows = []
+    for name, p in named_profiles:
+        rollbacks = ", ".join(
+            f"L{level}:{count}"
+            for level, count in sorted(p.rollbacks_by_level.items()))
+        rows.append((
+            name,
+            p.cycles,
+            p.instructions,
+            f"{p.commits_outer}/{p.commits_closed}/{p.commits_open}",
+            p.violations,
+            rollbacks or "-",
+            p.validate_stalls,
+            f"{p.l1_hit_rate:.2f}",
+            f"{p.bus_utilization:.2f}",
+        ))
+    return format_table(
+        ["run", "cycles", "instr", "commits o/c/op", "violations",
+         "rollbacks", "v-stalls", "L1 hit", "bus util"],
+        rows, title=title)

@@ -1,0 +1,60 @@
+"""Plain-text table/figure formatters matching the paper's reporting."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned plain-text table."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure5(comparisons):
+    """Figure 5: speedup of nesting over flattening, with the nested-
+    over-sequential annotation above each bar."""
+    rows = [
+        (c.name,
+         f"{c.improvement:.2f}x",
+         f"{c.total_speedup:.2f}",
+         f"{c.flat_speedup:.2f}")
+        for c in comparisons
+    ]
+    return format_table(
+        ["benchmark", "nesting vs flattening", "nested vs sequential",
+         "flat vs sequential"],
+        rows,
+        title="Figure 5: performance improvement with full nesting "
+              "support over flattening (8 CPUs)")
+
+
+def format_scaling(points, title, item_label="items"):
+    """A throughput-scaling series (Sections 7.2/7.3 style)."""
+    base = points[0]
+    rows = [
+        (p.n, p.work_items, p.cycles, f"{p.throughput:.3f}",
+         f"{(p.throughput / base.throughput):.2f}x")
+        for p in points
+    ]
+    return format_table(
+        ["threads", item_label, "cycles", f"{item_label}/kcycle",
+         "throughput vs smallest"],
+        rows, title=title)
+
+
+def format_bar_chart(labels_values, width=40, title=None):
+    """An ASCII bar chart (for terminal-friendly figure rendering)."""
+    lines = [title] if title else []
+    peak = max(value for _, value in labels_values) or 1.0
+    for label, value in labels_values:
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{label:>22s} | {bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Parameter sweeps: speedup curves over CPU counts and config axes.
+
+The paper reports single 8-CPU points (with sequential-relative
+annotations); a downstream user of this simulator will want the whole
+curve and config cross-products.  ``speedup_curve`` runs a workload at
+several CPU counts against its 1-CPU sequential run; ``config_sweep``
+runs one workload across arbitrary config overrides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.params import paper_config
+from repro.harness.report import format_table
+
+
+@dataclasses.dataclass
+class SpeedupPoint:
+    n_cpus: int
+    cycles: int
+    speedup: float
+
+
+def speedup_curve(workload_factory, cpu_counts=(1, 2, 4, 8, 16),
+                  config_overrides=None, max_cycles=2_000_000_000):
+    """Speedup over 1-CPU sequential execution at each CPU count.
+
+    ``workload_factory(n_threads)`` builds a fresh workload; the total
+    work is fixed (the workload divides it among threads), so this is a
+    strong-scaling curve.
+    """
+    overrides = dict(config_overrides or {})
+    points = []
+    base_cycles = None
+    for n in cpu_counts:
+        workload = workload_factory(n)
+        machine = workload.run(
+            paper_config(n_cpus=max(n, workload.min_cpus()), **overrides),
+            max_cycles=max_cycles)
+        cycles = machine.stats.get("cycles")
+        if base_cycles is None:
+            base_cycles = cycles
+        points.append(SpeedupPoint(
+            n_cpus=n, cycles=cycles, speedup=base_cycles / cycles))
+    return points
+
+
+def format_speedup_curve(points, title):
+    rows = [(p.n_cpus, p.cycles, f"{p.speedup:.2f}x") for p in points]
+    return format_table(["CPUs", "cycles", "speedup vs 1 CPU"], rows,
+                        title=title)
+
+
+def config_sweep(workload_factory, axes, n_cpus=8,
+                 max_cycles=2_000_000_000):
+    """Run one workload across configuration variants.
+
+    ``axes`` is a list of (label, overrides-dict); returns
+    ``{label: machine}``.
+    """
+    results = {}
+    for label, overrides in axes:
+        workload = workload_factory(n_cpus)
+        results[label] = workload.run(
+            paper_config(n_cpus=max(n_cpus, workload.min_cpus()),
+                         **overrides),
+            max_cycles=max_cycles)
+    return results

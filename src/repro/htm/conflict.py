@@ -1,0 +1,183 @@
+"""Conflict detection engines: lazy (commit-time) and eager (access-time).
+
+Both engines observe memory traffic and *post violations* to victim CPUs
+through a sink callback; delivery to the victim's violation handler is the
+engine's job (it models the hardware jump to ``xvhcode``).
+
+* :class:`LazyDetector` — TCC-style, the configuration the paper
+  evaluates: conflicts are found when a committing transaction broadcasts
+  its write-set; any other CPU whose read-set intersects it is violated at
+  every affected nesting level (this sets the ``xvcurrent`` bitmask).
+
+* :class:`EagerDetector` — UTM/LogTM-style: conflicts are found as
+  accesses happen, using the coherence protocol.  Two resolution policies:
+  ``requester_wins`` (the accessor proceeds, the owner is violated) and
+  ``requester_stalls`` (older-timestamp transaction wins; the younger
+  requester stalls, and self-aborts if it would have to wait on a
+  *validated* transaction or stalls too long).  A validated transaction is
+  never violated (paper §6.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+#: Actions an eager check can demand of the requesting CPU.
+PROCEED = "proceed"
+STALL = "stall"
+SELF_ABORT = "self_abort"
+
+#: Retries before a stalling requester conservatively self-aborts
+#: (deadlock avoidance).
+STALL_LIMIT = 64
+
+
+@dataclasses.dataclass
+class Violation:
+    """A conflict posted to a victim."""
+
+    victim: int
+    mask: int       # one bit per affected nesting level (bit 0 = level 1)
+    addr: int       # conflicting unit address (xvaddr), when known
+    source: int     # CPU whose access/commit caused it
+
+
+class DetectorBase:
+    def __init__(self, config, states, stats):
+        self._config = config
+        self._states = states   # list of per-CPU TxState
+        self._stats = stats
+        self._sink = None
+
+    def attach_sink(self, sink):
+        """``sink(Violation)`` delivers a violation to a victim CPU."""
+        self._sink = sink
+
+    def _post(self, victim, mask, addr, source):
+        self._stats.add("conflicts.posted")
+        self._sink(Violation(victim=victim, mask=mask, addr=addr,
+                             source=source))
+
+    # -- interface -----------------------------------------------------------
+
+    def on_load(self, cpu_id, unit):
+        """Check a transactional load; return PROCEED/STALL/SELF_ABORT."""
+        return PROCEED
+
+    def on_store(self, cpu_id, unit):
+        return PROCEED
+
+    def on_commit(self, cpu_id, written_units):
+        """Observe a write-set publication (outermost/open commit, or a
+        non-transactional store in a strongly-atomic machine)."""
+
+
+class LazyDetector(DetectorBase):
+    """Commit-time detection against every other CPU's read-sets."""
+
+    def on_commit(self, cpu_id, written_units):
+        if not written_units:
+            return
+        for victim_id, victim in enumerate(self._states):
+            if victim_id == cpu_id:
+                continue
+            # One violation record per conflicting unit, so a re-invoked
+            # handler sees each conflicting address in xvaddr (§4.6).
+            for unit in sorted(written_units):
+                mask = victim.rwsets.levels_reading(unit)
+                if mask:
+                    self._post(victim_id, mask, unit, cpu_id)
+
+
+class EagerDetector(DetectorBase):
+    """Access-time detection against every other CPU's read/write-sets."""
+
+    def __init__(self, config, states, stats):
+        super().__init__(config, states, stats)
+        self._stall_counts = {}
+
+    def _resolve(self, cpu_id, unit, victims):
+        """Decide the fate of an access conflicting with ``victims``
+        (list of (victim_id, mask) pairs).
+
+        Even a *winning* requester must stall until its victims have
+        actually rolled back: with an undo-log the victim's doomed
+        in-place writes are still in memory until then, and reading them
+        would leak uncommitted state (the LogTM NACK-until-released
+        behaviour).  The access retries and proceeds once the victims'
+        conflicting sets are gone.
+        """
+        from repro.common.params import REQUESTER_WINS
+
+        me = self._states[cpu_id]
+        for victim_id, mask in victims:
+            victim = self._states[victim_id]
+            if victim.is_validated():
+                # A validated transaction can no longer lose (paper §6.1);
+                # wait for it to finish, aborting ourselves if we cannot
+                # make progress (it might be waiting to run on our data).
+                return self._stall_or_self_abort(cpu_id, unit)
+            if self._config.eager_policy == REQUESTER_WINS or not me.in_tx():
+                # Non-transactional requesters cannot roll back, so they
+                # always win under either policy (strong atomicity).
+                self._post(victim_id, mask, unit, cpu_id)
+                continue
+            # requester_stalls: the strictly older transaction wins.
+            # Ties (same begin cycle) break by CPU id — the order must be
+            # total, or two same-age transactions kill each other forever.
+            if (me.timestamp, cpu_id) < (victim.timestamp, victim_id):
+                self._post(victim_id, mask, unit, cpu_id)
+            else:
+                return self._stall_or_self_abort(cpu_id, unit)
+        # Violations posted: wait for the victims to finish rolling back.
+        return self._stall_or_self_abort(cpu_id, unit)
+
+    def _stall_or_self_abort(self, cpu_id, unit):
+        count = self._stall_counts.get(cpu_id, 0) + 1
+        self._stall_counts[cpu_id] = count
+        if count > STALL_LIMIT:
+            self._stall_counts.pop(cpu_id, None)
+            self._stats.add("conflicts.self_aborts")
+            return SELF_ABORT
+        self._stats.add("conflicts.stalls")
+        return STALL
+
+    def on_load(self, cpu_id, unit):
+        victims = []
+        for victim_id, victim in enumerate(self._states):
+            if victim_id == cpu_id:
+                continue
+            mask = victim.rwsets.levels_writing(unit)
+            if mask:
+                victims.append((victim_id, mask))
+        if not victims:
+            self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        return self._resolve(cpu_id, unit, victims)
+
+    def on_store(self, cpu_id, unit):
+        victims = []
+        for victim_id, victim in enumerate(self._states):
+            if victim_id == cpu_id:
+                continue
+            mask = victim.rwsets.levels_touching(unit)
+            if mask:
+                victims.append((victim_id, mask))
+        if not victims:
+            self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        return self._resolve(cpu_id, unit, victims)
+
+    def on_commit(self, cpu_id, written_units):
+        # All conflicts were resolved at access time.  Nothing to do.
+        return None
+
+
+def make_detector(config, states, stats):
+    """Build the detector selected by ``config.detection``."""
+    from repro.common.params import LAZY
+
+    if config.detection == LAZY:
+        return LazyDetector(config, states, stats)
+    return EagerDetector(config, states, stats)

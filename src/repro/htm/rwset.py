@@ -1,0 +1,124 @@
+"""Per-CPU, per-nesting-level read- and write-set tracking.
+
+The HTM tracks the addresses read and written by each active transaction
+in the nest (paper Section 4.5/6.3).  Tracking granularity is a *unit*:
+a cache line by default, or a word when ``config.granularity == WORD``
+(the paper discusses the word-granularity option in the context of the
+``release`` instruction, §4.7).
+
+Levels are 1-based; level 0 means non-transactional.
+"""
+
+from __future__ import annotations
+
+from repro.common.addr import line_of
+from repro.common.params import LINE
+
+
+class RwSets:
+    """Read-/write-sets for one CPU across all active nesting levels."""
+
+    def __init__(self, config):
+        self._config = config
+        self._reads = {}   # level -> set of units
+        self._writes = {}  # level -> set of units
+
+    # -- unit mapping --------------------------------------------------------
+
+    def unit_of(self, addr):
+        """Map an address to its tracking unit."""
+        if self._config.granularity == LINE:
+            return line_of(addr, self._config.line_size)
+        return addr
+
+    # -- recording ------------------------------------------------------------
+
+    def open_level(self, level):
+        """Start tracking a new nesting level."""
+        self._reads[level] = set()
+        self._writes[level] = set()
+
+    def add_read(self, level, addr):
+        self._reads[level].add(self.unit_of(addr))
+
+    def add_write(self, level, addr):
+        self._writes[level].add(self.unit_of(addr))
+
+    def release(self, level, addr):
+        """Early release: drop the unit holding ``addr`` from the read-set
+        at ``level``.  Returns True if the unit was present."""
+        unit = self.unit_of(addr)
+        if unit in self._reads.get(level, ()):
+            self._reads[level].discard(unit)
+            return True
+        return False
+
+    # -- queries ---------------------------------------------------------------
+
+    def reads_at(self, level):
+        return self._reads.get(level, set())
+
+    def writes_at(self, level):
+        return self._writes.get(level, set())
+
+    def active_levels(self):
+        return sorted(self._reads)
+
+    def all_reads(self):
+        """Union of read units over all active levels."""
+        result = set()
+        for units in self._reads.values():
+            result |= units
+        return result
+
+    def all_writes(self):
+        result = set()
+        for units in self._writes.values():
+            result |= units
+        return result
+
+    def levels_reading(self, unit):
+        """Bitmask (bit ``level-1``) of levels whose read-set holds ``unit``."""
+        mask = 0
+        for level, units in self._reads.items():
+            if unit in units:
+                mask |= 1 << (level - 1)
+        return mask
+
+    def levels_writing(self, unit):
+        mask = 0
+        for level, units in self._writes.items():
+            if unit in units:
+                mask |= 1 << (level - 1)
+        return mask
+
+    def levels_touching(self, unit):
+        """Levels reading *or* writing ``unit`` (for write-write conflicts
+        under eager detection)."""
+        return self.levels_reading(unit) | self.levels_writing(unit)
+
+    # -- commit / rollback -------------------------------------------------------
+
+    def merge_into_parent(self, level):
+        """Closed-nested commit: OR child sets into the parent's.
+
+        Returns the number of units merged (the lazy-merge work the
+        hardware would perform, for timing accounting).
+        """
+        parent = level - 1
+        child_reads = self._reads.pop(level)
+        child_writes = self._writes.pop(level)
+        merged = len(child_reads) + len(child_writes)
+        if parent >= 1:
+            self._reads[parent] |= child_reads
+            self._writes[parent] |= child_writes
+        return merged
+
+    def discard(self, level):
+        """Drop the sets of ``level`` (rollback, or open-nested commit)."""
+        self._reads.pop(level, None)
+        self._writes.pop(level, None)
+
+    def discard_all(self):
+        self._reads.clear()
+        self._writes.clear()

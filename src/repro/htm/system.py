@@ -1,0 +1,378 @@
+"""The machine-wide HTM engine.
+
+:class:`HtmSystem` owns, per CPU, the read-/write-sets, the speculative
+version manager, and the nesting-scheme capacity model; machine-wide it
+owns the commit token and the conflict detector.  It implements the
+*functional* semantics of every Table 2 instruction; cycle costs are
+charged by the ISA layer using the work counts returned from here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import CapacityAbort, IsaError
+from repro.common.params import LAZY
+from repro.htm.conflict import PROCEED, make_detector
+from repro.htm.nesting import NestingSchemeBase, make_nesting_scheme
+from repro.htm.rwset import RwSets
+from repro.htm.versioning import make_version_manager
+
+#: Transaction status values held in ``xstatus`` (paper Table 1).
+ACTIVE = "active"
+VALIDATED = "validated"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclasses.dataclass
+class LevelInfo:
+    """Per-nesting-level transaction info mirrored into ``xstatus``."""
+
+    txid: int
+    open: bool
+    status: str = ACTIVE
+    began_at: int = 0
+
+
+@dataclasses.dataclass
+class CommitResult:
+    """What ``xcommit`` did, for timing and bookkeeping."""
+
+    kind: str                  # "closed", "open", "outer", "flattened"
+    written_words: set = dataclasses.field(default_factory=set)
+    merge_work: int = 0
+    ended_outermost: bool = False
+
+
+class TxState:
+    """All transactional hardware state of one CPU."""
+
+    def __init__(self, cpu_id, config, memory, stats):
+        self.cpu_id = cpu_id
+        scope = stats.scope(f"cpu{cpu_id}.htm")
+        self.stats = scope
+        self.rwsets = RwSets(config)
+        self.versions = make_version_manager(config, memory, scope)
+        self.nesting = make_nesting_scheme(config, scope)
+        self.levels = []          # stack of LevelInfo, index 0 = level 1
+        self.flatten_extra = 0    # subsumed inner transactions when flattening
+        self.timestamp = 0        # outermost xbegin cycle (eager priority)
+
+    def depth(self):
+        return len(self.levels)
+
+    def in_tx(self):
+        return bool(self.levels)
+
+    def current(self):
+        if not self.levels:
+            raise IsaError(f"cpu {self.cpu_id}: no active transaction")
+        return self.levels[-1]
+
+    def is_validated(self):
+        return any(info.status == VALIDATED for info in self.levels)
+
+
+class HtmSystem:
+    """Functional HTM semantics for the whole machine."""
+
+    def __init__(self, config, memory, stats):
+        self.config = config
+        self.memory = memory
+        self.stats = stats
+        self.states = [
+            TxState(cpu_id, config, memory, stats)
+            for cpu_id in range(config.n_cpus)
+        ]
+        self.detector = make_detector(config, self.states, stats.scope("htm"))
+        self._next_txid = 1
+        #: CPU holding machine-wide serial mode (the virtualization
+        #: fallback hook), or None.
+        self.serial_owner = None
+        #: Currently-validated publishing transactions: (cpu, level) keys.
+        #: xvalidate admits a transaction only if it conflicts with no
+        #: member, which is what guarantees a validated transaction can
+        #: never be violated by a prior memory access (paper §6.1) while
+        #: still letting non-conflicting commits — and the commit handlers
+        #: running between xvalidate and xcommit — proceed in parallel.
+        self.validated = {}
+
+    def attach_violation_sink(self, sink):
+        self.detector.attach_sink(sink)
+
+    # ------------------------------------------------------------------
+    # Transaction definition
+    # ------------------------------------------------------------------
+
+    def begin(self, cpu_id, open_, now):
+        """``xbegin`` / ``xbegin_open``.  Returns the new nesting level."""
+        state = self.states[cpu_id]
+        if self.config.flatten and state.in_tx():
+            # Conventional HTM: subsume the inner transaction entirely.
+            state.flatten_extra += 1
+            state.stats.add("begins_flattened")
+            return state.depth()
+        if state.depth() >= self.config.max_nesting:
+            raise CapacityAbort(
+                state.depth(),
+                f"nesting depth {state.depth() + 1} exceeds hardware limit "
+                f"{self.config.max_nesting}")
+        level = state.depth() + 1
+        txid = self._next_txid
+        self._next_txid += 1
+        state.levels.append(LevelInfo(txid=txid, open=open_, began_at=now))
+        state.rwsets.open_level(level)
+        state.versions.begin_level(level)
+        if level == 1:
+            state.timestamp = now
+        state.stats.add("begins_open" if open_ else "begins")
+        return level
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def load(self, cpu_id, addr):
+        """Transactional load.  Returns (action, value)."""
+        state = self.states[cpu_id]
+        level = state.depth()
+        unit = state.rwsets.unit_of(addr)
+        action = self.detector.on_load(cpu_id, unit)
+        if action != PROCEED:
+            return action, None
+        if level >= 1:
+            state.rwsets.add_read(level, addr)
+            state.nesting.note_access(level, addr, NestingSchemeBase.READ)
+        value = state.versions.tx_load(level, addr)
+        state.stats.add("loads")
+        return PROCEED, value
+
+    def store(self, cpu_id, addr, value):
+        """Transactional store.  Returns the detector action."""
+        state = self.states[cpu_id]
+        level = state.depth()
+        unit = state.rwsets.unit_of(addr)
+        action = self.detector.on_store(cpu_id, unit)
+        if action != PROCEED:
+            return action
+        if level >= 1:
+            state.rwsets.add_write(level, addr)
+            state.nesting.note_access(level, addr, NestingSchemeBase.WRITE)
+            state.versions.tx_store(level, addr, value)
+        else:
+            # Non-transactional store: update memory and, in a lazy
+            # machine, behave like a one-word commit so strong atomicity
+            # holds (other transactions that read this word are violated).
+            self.memory.write(addr, value)
+            if self.config.detection == LAZY:
+                self.detector.on_commit(cpu_id, {unit})
+        state.stats.add("stores")
+        return PROCEED
+
+    def im_load(self, cpu_id, addr):
+        return self.states[cpu_id].versions.im_load(addr)
+
+    def im_store(self, cpu_id, addr, value):
+        state = self.states[cpu_id]
+        state.versions.im_store(state.depth(), addr, value)
+
+    def im_store_id(self, cpu_id, addr, value):
+        self.states[cpu_id].versions.im_store_id(addr, value)
+
+    def release(self, cpu_id, addr):
+        """Early release from the current read-set (paper §4.7)."""
+        state = self.states[cpu_id]
+        if not state.in_tx():
+            return False
+        released = state.rwsets.release(state.depth(), addr)
+        if released:
+            state.stats.add("releases")
+        return released
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+
+    def _commit_publishes(self, state):
+        """True if committing the current level writes shared memory."""
+        info = state.current()
+        return info.open or state.depth() == 1
+
+    def validate(self, cpu_id):
+        """``xvalidate``.  Returns True on success, False to stall."""
+        state = self.states[cpu_id]
+        if state.flatten_extra:
+            # Flattened inner transaction: its validate is a no-op; only
+            # the real outermost commit arbitrates.
+            return True
+        info = state.current()
+        if info.status == VALIDATED:
+            return True
+        if (self.serial_owner is not None and self.serial_owner != cpu_id
+                and self._commit_publishes(state)):
+            # Serial mode: publishing commits of other CPUs are held off.
+            state.stats.add("validate_stalls")
+            return False
+        if self._commit_publishes(state) and self.config.detection == LAZY:
+            # Admission control: a transaction validates only if it cannot
+            # violate (or be violated by) any already-validated one.
+            level = state.depth()
+            my_reads = state.rwsets.reads_at(level)
+            my_writes = state.rwsets.writes_at(level)
+            for other_id, other_level in self.validated:
+                if other_id == cpu_id:
+                    continue
+                other = self.states[other_id].rwsets
+                other_reads = other.reads_at(other_level)
+                other_writes = other.writes_at(other_level)
+                if (my_writes & other_reads or my_writes & other_writes
+                        or my_reads & other_writes):
+                    state.stats.add("validate_stalls")
+                    return False
+            self.validated[(cpu_id, level)] = True
+        info.status = VALIDATED
+        state.stats.add("validates")
+        return True
+
+    def commit(self, cpu_id):
+        """``xcommit``.  Returns a :class:`CommitResult`."""
+        state = self.states[cpu_id]
+        if state.flatten_extra:
+            state.flatten_extra -= 1
+            state.stats.add("commits_flattened")
+            return CommitResult(kind="flattened")
+        info = state.current()
+        level = state.depth()
+        if info.status not in (ACTIVE, VALIDATED):
+            raise IsaError(f"cpu {cpu_id}: commit in status {info.status}")
+        if not info.open and level > 1:
+            merge = state.rwsets.merge_into_parent(level)
+            state.versions.commit_closed(level)
+            state.nesting.commit_closed(level)
+            state.levels.pop()
+            state.stats.add("commits_closed")
+            info.status = COMMITTED
+            return CommitResult(kind="closed", merge_work=merge)
+        # Outermost or open-nested commit: publish to shared memory.
+        written_units = set(state.rwsets.writes_at(level))
+        written_words = state.versions.commit_to_memory(level)
+        state.rwsets.discard(level)
+        if info.open:
+            state.nesting.commit_open(level)
+        else:
+            state.nesting.rollback(level)  # gang clear level-1 tracking
+        state.levels.pop()
+        self.validated.pop((cpu_id, level), None)
+        info.status = COMMITTED
+        # Conflict detection sees the publication (lazy mode posts
+        # violations here; eager mode already resolved everything).
+        self.detector.on_commit(cpu_id, written_units)
+        kind = "open" if info.open else "outer"
+        state.stats.add(f"commits_{kind}")
+        return CommitResult(
+            kind=kind,
+            written_words=written_words,
+            ended_outermost=not state.in_tx(),
+        )
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+
+    def rollback_to(self, cpu_id, target_level, now=0):
+        """Discard all speculative state at levels >= ``target_level`` and
+        restart ``target_level`` as a fresh, active transaction.
+
+        This is the hardware side of the dispatcher's ``xrwsetclear`` +
+        ``xregrestore`` sequence; multi-level rollback gang-clears the
+        deeper levels (paper §6.3).  Returns undo work units performed.
+        """
+        state = self.states[cpu_id]
+        if target_level < 1 or target_level > state.depth():
+            raise IsaError(
+                f"cpu {cpu_id}: rollback to level {target_level} with "
+                f"depth {state.depth()}")
+        # Flattened inner transactions all collapse with the real one.
+        state.flatten_extra = 0
+        restart_open = state.levels[target_level - 1].open
+        work = 0
+        for level in range(state.depth(), target_level - 1, -1):
+            info = state.levels[level - 1]
+            self.validated.pop((cpu_id, level), None)
+            work += state.versions.rollback(level)
+            state.rwsets.discard(level)
+            info.status = ABORTED
+            state.stats.add("rollbacks")
+        state.stats.add(f"rollbacks_to_level{target_level}")
+        state.nesting.rollback(target_level)
+        del state.levels[target_level - 1:]
+        # Restart the target level as a fresh transaction (the register
+        # checkpoint restore jumps back to just after xbegin).
+        txid = self._next_txid
+        self._next_txid += 1
+        state.levels.append(
+            LevelInfo(txid=txid, open=restart_open, began_at=now))
+        state.rwsets.open_level(target_level)
+        state.versions.begin_level(target_level)
+        state.stats.add("restarts")
+        return work
+
+    def abandon_all(self, cpu_id):
+        """Discard every active level without restarting (thread exit or
+        ``retry`` parking).  Returns undo work units."""
+        state = self.states[cpu_id]
+        if not state.in_tx():
+            return 0
+        work = 0
+        for level in range(state.depth(), 0, -1):
+            self.validated.pop((cpu_id, level), None)
+            work += state.versions.rollback(level)
+            state.rwsets.discard(level)
+        state.nesting.clear_all()
+        state.levels.clear()
+        state.flatten_extra = 0
+        state.stats.add("abandons")
+        return work
+
+    # ------------------------------------------------------------------
+    # Serial mode (the virtualization fallback hook, DESIGN.md §6b)
+    # ------------------------------------------------------------------
+
+    def try_acquire_serial(self, cpu_id):
+        """Acquire machine-wide serialization once all other validated
+        transactions have drained; False if not yet available."""
+        if self.serial_owner is not None:
+            return self.serial_owner == cpu_id
+        if any(owner != cpu_id for owner, _ in self.validated):
+            return False
+        self.serial_owner = cpu_id
+        self.states[cpu_id].stats.add("serial_acquires")
+        return True
+
+    def release_serial(self, cpu_id):
+        if self.serial_owner != cpu_id:
+            raise IsaError(
+                f"cpu {cpu_id} releasing serial mode owned by "
+                f"{self.serial_owner}")
+        self.serial_owner = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def depth(self, cpu_id):
+        return self.states[cpu_id].depth()
+
+    def xstatus(self, cpu_id):
+        """The ``xstatus`` register view (paper Table 1)."""
+        state = self.states[cpu_id]
+        if not state.in_tx():
+            return {"txid": 0, "type": None, "status": None, "level": 0}
+        info = state.current()
+        return {
+            "txid": info.txid,
+            "type": "open" if info.open else "closed",
+            "status": info.status,
+            "level": state.depth() + state.flatten_extra,
+        }

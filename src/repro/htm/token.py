@@ -1,0 +1,61 @@
+"""The commit token serializing lazy-mode commits (paper Section 6.1).
+
+In a lazy (commit-time detection) HTM, ``xvalidate`` can be implemented
+as acquiring the token that serializes commits: once a transaction holds
+it, no other transaction can commit, which trivially guarantees a
+*validated* transaction can no longer be violated by a prior memory
+access.  The token is re-entrant per CPU so that open-nested transactions
+run by commit handlers (between ``xvalidate`` and ``xcommit``) can commit
+while their ancestor holds the token.
+
+This is the paper's simplest §6.1 implementation and is kept (and unit
+tested) for reference, but :class:`~repro.htm.system.HtmSystem` uses the
+*validated-set admission* scheme instead: a global token would serialize
+the machine across commit-handler execution and destroy the §7.2
+scalable-I/O result (see DESIGN.md §6b.3).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import IsaError
+
+
+class CommitToken:
+    """Machine-wide re-entrant commit token."""
+
+    def __init__(self, stats):
+        self._owner = None
+        self._depth = 0
+        self._stats = stats.scope("token")
+
+    @property
+    def owner(self):
+        return self._owner
+
+    def held_by_other(self, cpu_id):
+        return self._owner is not None and self._owner != cpu_id
+
+    def try_acquire(self, cpu_id):
+        """Acquire (or re-enter) the token; False if another CPU holds it."""
+        if self.held_by_other(cpu_id):
+            self._stats.add("denied")
+            return False
+        self._owner = cpu_id
+        self._depth += 1
+        self._stats.add("acquired")
+        return True
+
+    def release(self, cpu_id):
+        if self._owner != cpu_id:
+            raise IsaError(
+                f"cpu {cpu_id} releasing commit token owned by {self._owner}")
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+
+    def force_release_all(self, cpu_id):
+        """Drop every nested hold by ``cpu_id`` (used on rollback while
+        validated, e.g. a voluntary abort between xvalidate and xcommit)."""
+        if self._owner == cpu_id:
+            self._owner = None
+            self._depth = 0

@@ -1,0 +1,44 @@
+"""Code registry: simulated code addresses for handler code.
+
+The paper's handler registers (``xvhcode`` etc.) and handler-stack entries
+hold PCs.  In this model a "PC" is an integer id naming a registered
+generator function; the hardware (engine) and software (runtime) both jump
+to code by id.  Ids are machine-global, dense, and start at 1 so that 0
+can mean "no handler installed".
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+
+
+class CodeRegistry:
+    """Machine-wide id -> generator-function table."""
+
+    def __init__(self):
+        self._code = {}
+        self._ids = {}
+        self._next = 1
+
+    def register(self, fn):
+        """Register ``fn`` and return its code id (idempotent per fn)."""
+        if fn in self._ids:
+            return self._ids[fn]
+        code_id = self._next
+        self._next += 1
+        self._code[code_id] = fn
+        self._ids[fn] = code_id
+        return code_id
+
+    def get(self, code_id):
+        """Resolve a code id; raises on a wild jump."""
+        try:
+            return self._code[code_id]
+        except KeyError:
+            raise SimulationError(f"jump to unregistered code id {code_id}")
+
+    def __contains__(self, code_id):
+        return code_id in self._code
+
+    def __len__(self):
+        return len(self._code)

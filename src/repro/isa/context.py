@@ -1,0 +1,307 @@
+"""The hardware thread: architectural state plus the op executor.
+
+A :class:`Cpu` is both the *hardware* (it executes the operations the
+program yields, charging latencies through the memory model and driving
+the HTM engine) and the *handle* that simulated software holds (it exposes
+op constructors such as :meth:`load`, plus the registers in :attr:`isa`).
+
+The engine (:mod:`repro.sim.engine`) owns scheduling, violation-handler
+dispatch, and rollback unwinding; this module owns per-instruction
+semantics and timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import IsaError, SimulationError
+from repro.htm.conflict import PROCEED, SELF_ABORT, STALL
+from repro.sim import ops as O
+
+#: Thread scheduler states.
+RUNNABLE = "runnable"
+WAITING = "waiting"
+DONE = "done"
+
+@dataclasses.dataclass
+class ExecOutcome:
+    """Result of executing one operation."""
+
+    latency: int = 1
+    value: object = None
+    stall: bool = False
+    deschedule: bool = False
+
+
+class Cpu:
+    """One hardware thread of the simulated CMP."""
+
+    def __init__(self, cpu_id, machine):
+        self.cpu_id = cpu_id
+        self.machine = machine
+        self.isa = machine.make_isa_state(cpu_id)
+        self.stats = machine.stats.scope(f"cpu{cpu_id}")
+
+        # --- thread/scheduler state (owned by the engine) -----------------
+        self.frames = []          # generator stack: program, [dispatchers]
+        self.dispatch_depth = 0
+        self.send_value = None
+        self.throw_exc = None
+        #: Stalled operations parked per frame index (a dispatcher can
+        #: stall independently of the program beneath it).
+        self.parked = {}
+        #: Pending op results of interrupted frames, restored when a
+        #: dispatcher resumes them.
+        self.saved_sends = {}
+        #: (xvcurrent, xvaddr) of interrupted frames, saved across nested
+        #: dispatch like any other interrupted register state.
+        self.saved_viol = {}
+        self.state = DONE
+        self.resume_at = 0
+        self.daemon = False
+        self.wake_tokens = 0
+        self.pending_abort = False
+        self.result = None
+        self.failure = None
+
+        #: Slot for the software runtime's per-thread state.
+        self.rt = None
+
+    # ------------------------------------------------------------------
+    # Program-facing op constructors (the "assembler")
+    # ------------------------------------------------------------------
+
+    def load(self, addr):
+        return O.Load(addr)
+
+    def store(self, addr, value):
+        return O.Store(addr, value)
+
+    def imld(self, addr):
+        return O.ImLoad(addr)
+
+    def imst(self, addr, value):
+        return O.ImStore(addr, value)
+
+    def imstid(self, addr, value):
+        return O.ImStoreId(addr, value)
+
+    def release(self, addr):
+        return O.Release(addr)
+
+    def alu(self, cycles=1):
+        return O.Alu(cycles)
+
+    # ------------------------------------------------------------------
+    # Introspection for software
+    # ------------------------------------------------------------------
+
+    def depth(self):
+        """Current hardware nesting level (0 = non-transactional)."""
+        return self.machine.htm.depth(self.cpu_id)
+
+    def tx_is_open(self):
+        """True if the current (innermost) transaction is open-nested."""
+        state = self.machine.htm.states[self.cpu_id]
+        return state.in_tx() and state.current().open
+
+    def commit_publishes(self):
+        """True if committing the current transaction writes shared memory
+        (outermost or open-nested; False for closed-nested and for
+        transactions subsumed by flattening)."""
+        state = self.machine.htm.states[self.cpu_id]
+        if not state.in_tx():
+            return False
+        if state.flatten_extra:
+            return False
+        return state.current().open or state.depth() == 1
+
+    def xstatus(self):
+        return self.machine.htm.xstatus(self.cpu_id)
+
+    @property
+    def instructions(self):
+        return self.stats.get("instructions")
+
+    @property
+    def now(self):
+        return self.machine.now
+
+    # ------------------------------------------------------------------
+    # Hardware-side violation delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, violation):
+        """Record a posted conflict in the violation registers and make
+        sure the thread will notice it (wake it if descheduled)."""
+        self.isa.post(violation.mask, violation.addr)
+        self.stats.add("htm.violations_received")
+        if self.state == WAITING:
+            self.machine.wake(self.cpu_id)
+
+    # ------------------------------------------------------------------
+    # Op execution
+    # ------------------------------------------------------------------
+
+    def execute(self, op, now):
+        """Execute ``op`` at cycle ``now``; may raise CapacityAbort."""
+        outcome = self._execute(op, now)
+        if not outcome.stall:
+            count = op.cycles if isinstance(op, O.Alu) else 1
+            self.stats.add("instructions", count)
+            if self.dispatch_depth:
+                # Work done inside violation/abort dispatchers (the paper's
+                # handler-management overhead, Section 7).
+                self.stats.add("handler_instructions", count)
+        return outcome
+
+    def _execute(self, op, now):
+        machine = self.machine
+        htm = machine.htm
+        mem = machine.memmodel
+
+        if isinstance(op, O.Load):
+            action, value = htm.load(self.cpu_id, op.addr)
+            if action == STALL:
+                return ExecOutcome(stall=True)
+            if action == SELF_ABORT:
+                self._self_abort(op.addr)
+                return ExecOutcome(stall=True)
+            latency = mem.access(self.cpu_id, op.addr, False, now)
+            return ExecOutcome(latency=latency, value=value)
+
+        if isinstance(op, O.Store):
+            action = htm.store(self.cpu_id, op.addr, op.value)
+            if action == STALL:
+                return ExecOutcome(stall=True)
+            if action == SELF_ABORT:
+                self._self_abort(op.addr)
+                return ExecOutcome(stall=True)
+            latency = mem.access(self.cpu_id, op.addr, True, now)
+            return ExecOutcome(latency=latency)
+
+        if isinstance(op, O.ImLoad):
+            value = htm.im_load(self.cpu_id, op.addr)
+            latency = mem.access(self.cpu_id, op.addr, False, now)
+            return ExecOutcome(latency=latency, value=value)
+
+        if isinstance(op, O.ImStore):
+            htm.im_store(self.cpu_id, op.addr, op.value)
+            latency = mem.access(self.cpu_id, op.addr, True, now)
+            return ExecOutcome(latency=latency)
+
+        if isinstance(op, O.ImStoreId):
+            htm.im_store_id(self.cpu_id, op.addr, op.value)
+            latency = mem.access(self.cpu_id, op.addr, True, now)
+            return ExecOutcome(latency=latency)
+
+        if isinstance(op, O.Release):
+            released = htm.release(self.cpu_id, op.addr)
+            return ExecOutcome(value=released)
+
+        if isinstance(op, O.Alu):
+            return ExecOutcome(latency=max(1, op.cycles))
+
+        if isinstance(op, O.XBegin):
+            level = htm.begin(self.cpu_id, op.open, now)
+            return ExecOutcome(value=level)
+
+        if isinstance(op, O.XValidate):
+            publishing = self.commit_publishes()
+            if not htm.validate(self.cpu_id):
+                return ExecOutcome(stall=True)
+            latency = 1
+            if publishing and machine.config.detection == "lazy":
+                # Validation announces the write-set on the bus so other
+                # validators can check against it.
+                latency = mem.arbitrate_commit(now)
+            return ExecOutcome(latency=latency)
+
+        if isinstance(op, O.XCommit):
+            result = htm.commit(self.cpu_id)
+            if result.kind in ("outer", "open"):
+                latency = mem.commit_broadcast(
+                    self.cpu_id, result.written_words, now)
+                if machine.config.double_buffering:
+                    # §6.3.3: the nesting hardware's spare tracking slots
+                    # let the CPU run its next transaction while the
+                    # broadcast drains; the bus occupancy (charged above,
+                    # visible to everyone else) is hidden from this CPU.
+                    self.stats.add("htm.hidden_commit_cycles", latency - 1)
+                    latency = 1
+            else:
+                latency = 1
+            self.stats.add("htm.commit_cycles", latency)
+            return ExecOutcome(latency=latency, value=result.kind)
+
+        if isinstance(op, O.XAbort):
+            if self.depth() < 1:
+                raise IsaError("xabort outside a transaction")
+            self.isa.xabort_code = op.code
+            self.isa.viol_reporting = False
+            self.pending_abort = True
+            return ExecOutcome()
+
+        if isinstance(op, O.XRwSetClear):
+            target = op.level if op.level is not None else self.depth()
+            work = self.do_rollback(target)
+            latency = 1 + work * machine.config.undo_cycles_per_entry
+            self.stats.add("htm.rollback_cycles", latency)
+            return ExecOutcome(latency=latency)
+
+        if isinstance(op, O.XRegRestore):
+            # The architectural restore; the engine performs the actual
+            # frame unwinding when the dispatcher returns its outcome.
+            return ExecOutcome()
+
+        if isinstance(op, O.XVRet):
+            self.isa.viol_reporting = True
+            return ExecOutcome()
+
+        if isinstance(op, O.XEnViolRep):
+            self.isa.viol_reporting = True
+            return ExecOutcome()
+
+        if isinstance(op, O.XVClear):
+            self.isa.clear_current(op.mask)
+            return ExecOutcome()
+
+        if isinstance(op, O.YieldCpu):
+            if self.wake_tokens > 0:
+                self.wake_tokens -= 1
+                return ExecOutcome()
+            return ExecOutcome(deschedule=True)
+
+        if isinstance(op, O.Wake):
+            machine.wake(op.cpu_id)
+            return ExecOutcome()
+
+        if isinstance(op, O.Fence):
+            return ExecOutcome()
+
+        if isinstance(op, O.SerialAcquire):
+            return ExecOutcome(value=htm.try_acquire_serial(self.cpu_id))
+
+        if isinstance(op, O.SerialRelease):
+            htm.release_serial(self.cpu_id)
+            return ExecOutcome()
+
+        raise SimulationError(f"cpu {self.cpu_id}: not an operation: {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def do_rollback(self, target_level):
+        """Hardware rollback to ``target_level``: discard speculative
+        state, clear the violation masks for the cleared levels, and
+        restart the target as a fresh transaction."""
+        work = self.machine.htm.rollback_to(
+            self.cpu_id, target_level, now=self.machine.now)
+        self.isa.clear_masks_at_and_above(target_level)
+        return work
+
+    def _self_abort(self, addr):
+        """Eager deadlock avoidance: the requester violates itself."""
+        level = max(1, self.depth())
+        mask = (1 << level) - 1
+        self.isa.post(mask, addr)
+        self.stats.add("htm.self_aborts")

@@ -1,0 +1,67 @@
+"""Handler-dispatch protocol between hardware (engine) and software.
+
+When a violation or abort must be delivered, the engine suspends the
+program, disables violation reporting, and runs the *dispatcher* code
+named by ``xvhcode``/``xahcode`` as a separate frame on the same hardware
+thread (the model of the paper's user-level-exception-style jump).  The
+dispatcher finishes by returning a :class:`HandlerOutcome`:
+
+* ``resume()`` — return via ``xvret`` to the interrupted PC (the paper's
+  "ignore violation / continue" path);
+* ``rollback(level, reason, code)`` — the dispatcher already executed
+  ``xrwsetclear``/``xregrestore``; the engine unwinds the program's Python
+  frames down to the ``atomic`` wrapper at ``level`` by raising
+  :class:`~repro.common.errors.TxRollback` (the model of jumping to the
+  restart PC).
+
+The hardware defaults (used when no software dispatcher is installed,
+i.e. the code registers are 0) roll the transaction back to the outermost
+violated level, which is what conventional HTM systems do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.state import lowest_level_in_mask
+from repro.sim.ops import XRegRestore, XRwSetClear, XVRet
+
+
+@dataclasses.dataclass
+class HandlerOutcome:
+    """Decision returned by a dispatcher frame."""
+
+    kind: str               # "resume" | "rollback"
+    level: int = 0          # rollback target (1-based)
+    reason: str = "violation"
+    code: object = None     # abort code, if any
+    vaddr: object = None
+
+    @classmethod
+    def resume(cls):
+        return cls(kind="resume")
+
+    @classmethod
+    def rollback(cls, level, reason="violation", code=None, vaddr=None):
+        return cls(kind="rollback", level=level, reason=reason, code=code,
+                   vaddr=vaddr)
+
+
+def default_violation_dispatcher(t):
+    """Hardware default: roll back to the outermost violated level."""
+    target = lowest_level_in_mask(t.isa.xvcurrent) or 1
+    vaddr = t.isa.xvaddr
+    yield XRwSetClear(level=target)
+    yield XRegRestore()
+    yield XVRet()
+    return HandlerOutcome.rollback(target, reason="violation", vaddr=vaddr)
+
+
+def default_abort_dispatcher(t):
+    """Hardware default for ``xabort``: roll back the current transaction."""
+    target = t.depth()
+    code = t.isa.xabort_code
+    yield XRwSetClear(level=target)
+    yield XRegRestore()
+    yield XVRet()
+    return HandlerOutcome.rollback(target, reason="abort", code=code)

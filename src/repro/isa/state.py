@@ -1,0 +1,133 @@
+"""Architectural register state (paper Table 1).
+
+``xstatus`` is derived from the HTM engine (transaction ID, type, status,
+nesting level); everything else lives here.  The handler *stack pointers*
+(``xchptr_base`` etc.) are TCB fields stored in simulated thread-private
+memory — see :mod:`repro.isa.tcb` — exactly as Table 1 specifies.
+
+Violation bookkeeping: the paper gives one ``xvaddr`` register and notes
+that conflicts detected while reporting is disabled are remembered in
+``xvpending`` and the handler is *re-invoked* after ``xvret`` (§4.3,
+§4.6).  We model that re-invocation faithfully with a small hardware FIFO
+of (mask, address) records: delivery pops one record into
+``xvcurrent``/``xvaddr``; anything still queued is visible as
+``xvpending`` and triggers another handler invocation on return.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class IsaState:
+    """Registers of one hardware thread."""
+
+    def __init__(self, cpu_id):
+        self.cpu_id = cpu_id
+
+        # --- basic state (Table 1) ---------------------------------------
+        #: Base and current top of the TCB stack in thread-private memory.
+        self.xtcbptr_base = 0
+        self.xtcbptr_top = 0
+
+        # --- handler state -------------------------------------------------
+        #: Code-registry ids of the commit/violation/abort dispatcher code.
+        #: 0 means "no software installed"; the hardware default applies.
+        self.xchcode = 0
+        self.xvhcode = 0
+        self.xahcode = 0
+
+        # --- violation & abort state ----------------------------------------
+        #: PC saved when a violation/abort interrupted the transaction.  In
+        #: this model the interrupted continuation is the suspended
+        #: generator, so ``xvpc`` records the instruction count at the
+        #: interrupt for diagnostics rather than a raw address.
+        self.xvpc = 0
+        #: Conflicting address (tracking-unit base) of the violation being
+        #: handled, when the hardware had one to report.
+        self.xvaddr = None
+        #: Violation bitmask of the conflict being handled: bit ``level-1``
+        #: set means that nesting level was violated.
+        self.xvcurrent = 0
+        #: Hardware FIFO of undelivered (mask, addr) conflict records.
+        self._vqueue = deque()
+
+        #: Violation-reporting enable (cleared on handler dispatch and
+        #: ``xabort``; set by ``xvret`` / ``xenviolrep``).
+        self.viol_reporting = True
+
+        #: Abort code of the most recent ``xabort`` (software-visible).
+        self.xabort_code = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def xvpending(self):
+        """Pending-violation bitmask: the OR over undelivered records."""
+        mask = 0
+        for record_mask, _ in self._vqueue:
+            mask |= record_mask
+        return mask
+
+    def post(self, mask, addr):
+        """Hardware-side recording of a detected conflict."""
+        self._vqueue.append((mask, addr))
+
+    def has_deliverable(self):
+        """An *undelivered* conflict record is ready for handler dispatch.
+
+        Delivery is driven by the queue alone: a record currently being
+        handled lives in ``xvcurrent``/``xvaddr`` (saved and restored
+        across nested dispatch like any interrupted register state), so a
+        handler that re-enables reporting for an open-nested transaction
+        is interrupted only by *new* conflicts, never re-entered for the
+        one it is already handling.
+        """
+        return bool(self._vqueue)
+
+    def pop_next(self):
+        """Deliver the next queued conflict into ``xvcurrent``/``xvaddr``."""
+        mask, addr = self._vqueue.popleft()
+        self.xvcurrent = mask
+        self.xvaddr = addr
+
+    def clear_current(self, mask=None):
+        """``xvclear``: software acknowledges handled conflicts."""
+        if mask is None:
+            self.xvcurrent = 0
+        else:
+            self.xvcurrent &= ~mask
+
+    def requeue_current(self, rollback_level):
+        """A dispatcher died before finishing (a nested rollback unwound
+        it).  Re-queue the record it was handling, restricted to the
+        levels that survive the rollback, so the conflict is re-delivered
+        instead of silently dropped."""
+        keep = (1 << (rollback_level - 1)) - 1
+        mask = self.xvcurrent & keep
+        if mask:
+            self._vqueue.appendleft((mask, self.xvaddr))
+        self.xvcurrent = 0
+
+    def clear_masks_at_and_above(self, level):
+        """Drop the violation bits for ``level`` and deeper, both current
+        and queued (performed by ``xrwsetclear``, paper §4.3/§4.6)."""
+        keep = (1 << (level - 1)) - 1
+        self.xvcurrent &= keep
+        remaining = deque()
+        for mask, addr in self._vqueue:
+            mask &= keep
+            if mask:
+                remaining.append((mask, addr))
+        self._vqueue = remaining
+
+
+def lowest_level_in_mask(mask):
+    """Outermost (lowest) violated nesting level named by ``mask``."""
+    level = 1
+    while mask:
+        if mask & 1:
+            return level
+        mask >>= 1
+        level += 1
+    return 0

@@ -1,0 +1,87 @@
+"""Transaction Control Block layout in thread-private memory (paper Fig. 2).
+
+Each active transaction in the nest owns a fixed-length TCB frame on a
+stack in thread-private memory, "in the same manner as a function call is
+associated with an activation record" (§4).  The read-/write-sets,
+write-buffer/undo-log, and the register checkpoint are logically part of
+the TCB but physically live in caches/registers (modelled by
+:mod:`repro.htm`); the memory-resident fields are the three handler-stack
+top pointers plus a status word.
+
+The runtime accesses these fields with ``imld``/``imst``/``imstid`` so the
+accesses bypass conflict tracking, exactly as §4.7 prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.common.addr import private_base
+from repro.common.params import WORD_SIZE
+
+# ---------------------------------------------------------------------------
+# TCB frame field offsets (in words)
+# ---------------------------------------------------------------------------
+
+#: Commit-handler stack top (address).
+CH_TOP = 0
+#: Violation-handler stack top (address).
+VH_TOP = 1
+#: Abort-handler stack top (address).
+AH_TOP = 2
+#: Software status word (scratch copy of xstatus for debuggers).
+STATUS = 3
+
+#: Words per TCB frame (fixed length makes handler-stack merging trivial,
+#: paper §4.6).
+FRAME_WORDS = 4
+FRAME_BYTES = FRAME_WORDS * WORD_SIZE
+
+# ---------------------------------------------------------------------------
+# Thread-private segment layout (byte offsets from private_base(cpu))
+# ---------------------------------------------------------------------------
+
+#: TCB stack region: frame 0 sits at the base; deeper nesting grows up.
+TCB_STACK_OFFSET = 0x0000
+TCB_STACK_BYTES = 0x0400          # 64 frames
+
+#: The three handler stacks.  Entries are [code_id, nargs, arg...].
+CH_STACK_OFFSET = 0x1000
+VH_STACK_OFFSET = 0x2000
+AH_STACK_OFFSET = 0x3000
+HANDLER_STACK_BYTES = 0x1000
+
+#: Runtime-private scratch area (I/O buffers, condsync records, ...).
+SCRATCH_OFFSET = 0x1_0000
+SCRATCH_BYTES = 0xF_0000
+
+
+def tcb_stack_base(cpu_id):
+    return private_base(cpu_id) + TCB_STACK_OFFSET
+
+
+def frame_addr(cpu_id, level):
+    """Address of the TCB frame for nesting ``level``.
+
+    Slot 0 is the sentinel frame holding the thread's handler-stack bases;
+    the frame for the level-``n`` transaction occupies slot ``n``.
+    """
+    return tcb_stack_base(cpu_id) + level * FRAME_BYTES
+
+
+def field_addr(cpu_id, level, field):
+    """Address of ``field`` (word offset) in the frame for ``level``."""
+    return frame_addr(cpu_id, level) + field * WORD_SIZE
+
+
+def handler_stack_base(cpu_id, kind):
+    """Base address of the ``kind`` handler stack ('commit'/'violation'/
+    'abort')."""
+    offsets = {
+        "commit": CH_STACK_OFFSET,
+        "violation": VH_STACK_OFFSET,
+        "abort": AH_STACK_OFFSET,
+    }
+    return private_base(cpu_id) + offsets[kind]
+
+
+def scratch_base(cpu_id):
+    return private_base(cpu_id) + SCRATCH_OFFSET

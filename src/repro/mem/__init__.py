@@ -1,0 +1,25 @@
+"""Data structures over the simulated shared address space.
+
+Everything here issues simulated loads/stores, so these structures
+participate in caching, conflict detection, and timing exactly like the
+workload's own data.
+"""
+
+from repro.mem.array import LineArray, WordArray
+from repro.mem.btree import BTree
+from repro.mem.hashmap import HashMap
+from repro.mem.heap import SharedHeap
+from repro.mem.layout import SharedArena
+from repro.mem.linkedlist import LinkedList
+from repro.mem.queue import BoundedQueue
+
+__all__ = [
+    "BTree",
+    "LineArray",
+    "BoundedQueue",
+    "HashMap",
+    "LinkedList",
+    "SharedArena",
+    "SharedHeap",
+    "WordArray",
+]

@@ -1,0 +1,240 @@
+"""A B-tree in simulated shared memory.
+
+This is the central data structure of the SPECjbb-like workload (the
+paper parallelizes SPECjbb2000 whose warehouses are B-trees, §7.1).  The
+tree is a classic CLRS B-tree of minimum degree ``t``: every node holds up
+to ``2t - 1`` sorted keys with one value word per key; internal nodes hold
+child pointers.  All traffic goes through simulated loads/stores, so
+concurrent operations conflict exactly where a hardware TM would see them
+conflict: on the node lines they touch.
+
+Operations are *plain transactional code*: callers wrap them in ``atomic``
+(or run them inside a larger transaction — the transparent-library case
+that motivates closed nesting).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
+
+#: Minimum degree (CLRS ``t``): nodes hold t-1 .. 2t-1 keys.
+MIN_DEGREE = 4
+MAX_KEYS = 2 * MIN_DEGREE - 1
+MAX_CHILDREN = 2 * MIN_DEGREE
+
+# Node field offsets (in words).
+_N_KEYS = 0
+_LEAF = 1
+_KEYS = 2
+_VALUES = _KEYS + MAX_KEYS
+_CHILDREN = _VALUES + MAX_KEYS
+NODE_WORDS = _CHILDREN + MAX_CHILDREN
+
+
+class BTree:
+    """A shared-memory B-tree with upsert and lookup."""
+
+    def __init__(self, arena, capacity_nodes):
+        self.capacity_nodes = capacity_nodes
+        self.node_bytes = NODE_WORDS * WORD_SIZE
+        self.pool = arena.alloc(capacity_nodes * NODE_WORDS, line_align=True)
+        # Node 0 is the initial root: empty leaf.
+        arena.memory.write(self.pool + _N_KEYS * WORD_SIZE, 0)
+        arena.memory.write(self.pool + _LEAF * WORD_SIZE, 1)
+        self.next_node_addr = arena.alloc_word(1, isolate=True)
+        self.root_ptr_addr = arena.alloc_word(self.pool, isolate=True)
+
+    # -- node field helpers -------------------------------------------------
+
+    def _f(self, node, field, index=0):
+        return node + (field + index) * WORD_SIZE
+
+    def _alloc_node(self, t, leaf):
+        index = yield t.load(self.next_node_addr)
+        if index >= self.capacity_nodes:
+            raise MemoryError_("B-tree node pool exhausted")
+        yield t.store(self.next_node_addr, index + 1)
+        node = self.pool + index * self.node_bytes
+        yield t.store(self._f(node, _N_KEYS), 0)
+        yield t.store(self._f(node, _LEAF), 1 if leaf else 0)
+        return node
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, t, key):
+        """Return the value for ``key``, or None."""
+        node = yield t.load(self.root_ptr_addr)
+        while True:
+            n = yield t.load(self._f(node, _N_KEYS))
+            i = 0
+            while i < n:
+                k = yield t.load(self._f(node, _KEYS, i))
+                if key == k:
+                    value = yield t.load(self._f(node, _VALUES, i))
+                    return value
+                if key < k:
+                    break
+                i += 1
+            leaf = yield t.load(self._f(node, _LEAF))
+            if leaf:
+                return None
+            node = yield t.load(self._f(node, _CHILDREN, i))
+
+    # -- insert / upsert ----------------------------------------------------------
+
+    def insert(self, t, key, value):
+        """Insert ``key`` -> ``value`` (update in place if present).
+
+        Returns True if the key was new."""
+        root = yield t.load(self.root_ptr_addr)
+        n = yield t.load(self._f(root, _N_KEYS))
+        if n == MAX_KEYS:
+            new_root = yield from self._alloc_node(t, leaf=False)
+            yield t.store(self._f(new_root, _LEAF), 0)
+            yield t.store(self._f(new_root, _CHILDREN, 0), root)
+            yield from self._split_child(t, new_root, 0, root)
+            yield t.store(self.root_ptr_addr, new_root)
+            root = new_root
+        inserted = yield from self._insert_nonfull(t, root, key, value)
+        return inserted
+
+    def update(self, t, key, delta):
+        """Add ``delta`` to the value of ``key``; returns the new value or
+        None if the key is absent."""
+        node = yield t.load(self.root_ptr_addr)
+        while True:
+            n = yield t.load(self._f(node, _N_KEYS))
+            i = 0
+            while i < n:
+                k = yield t.load(self._f(node, _KEYS, i))
+                if key == k:
+                    addr = self._f(node, _VALUES, i)
+                    value = yield t.load(addr)
+                    value += delta
+                    yield t.store(addr, value)
+                    return value
+                if key < k:
+                    break
+                i += 1
+            leaf = yield t.load(self._f(node, _LEAF))
+            if leaf:
+                return None
+            node = yield t.load(self._f(node, _CHILDREN, i))
+
+    def _insert_nonfull(self, t, node, key, value):
+        while True:
+            n = yield t.load(self._f(node, _N_KEYS))
+            # Find position (and catch exact matches -> update in place).
+            i = 0
+            while i < n:
+                k = yield t.load(self._f(node, _KEYS, i))
+                if key == k:
+                    yield t.store(self._f(node, _VALUES, i), value)
+                    return False
+                if key < k:
+                    break
+                i += 1
+            leaf = yield t.load(self._f(node, _LEAF))
+            if leaf:
+                # Shift keys/values right of position i and insert.
+                j = n
+                while j > i:
+                    k = yield t.load(self._f(node, _KEYS, j - 1))
+                    v = yield t.load(self._f(node, _VALUES, j - 1))
+                    yield t.store(self._f(node, _KEYS, j), k)
+                    yield t.store(self._f(node, _VALUES, j), v)
+                    j -= 1
+                yield t.store(self._f(node, _KEYS, i), key)
+                yield t.store(self._f(node, _VALUES, i), value)
+                yield t.store(self._f(node, _N_KEYS), n + 1)
+                return True
+            child = yield t.load(self._f(node, _CHILDREN, i))
+            child_n = yield t.load(self._f(child, _N_KEYS))
+            if child_n == MAX_KEYS:
+                yield from self._split_child(t, node, i, child)
+                median = yield t.load(self._f(node, _KEYS, i))
+                if key == median:
+                    yield t.store(self._f(node, _VALUES, i), value)
+                    return False
+                if key > median:
+                    i += 1
+                child = yield t.load(self._f(node, _CHILDREN, i))
+            node = child
+
+    def _split_child(self, t, parent, i, child):
+        """CLRS B-Tree-Split-Child: ``child`` (full) splits around its
+        median key, which moves up into ``parent`` at position ``i``."""
+        mid = MIN_DEGREE - 1
+        child_leaf = yield t.load(self._f(child, _LEAF))
+        sibling = yield from self._alloc_node(t, leaf=bool(child_leaf))
+        yield t.store(self._f(sibling, _LEAF), child_leaf)
+        # Upper keys/values move to the new sibling.
+        for j in range(MIN_DEGREE - 1):
+            k = yield t.load(self._f(child, _KEYS, j + MIN_DEGREE))
+            v = yield t.load(self._f(child, _VALUES, j + MIN_DEGREE))
+            yield t.store(self._f(sibling, _KEYS, j), k)
+            yield t.store(self._f(sibling, _VALUES, j), v)
+        if not child_leaf:
+            for j in range(MIN_DEGREE):
+                c = yield t.load(self._f(child, _CHILDREN, j + MIN_DEGREE))
+                yield t.store(self._f(sibling, _CHILDREN, j), c)
+        yield t.store(self._f(sibling, _N_KEYS), MIN_DEGREE - 1)
+        yield t.store(self._f(child, _N_KEYS), mid)
+        # Shift the parent's keys/children right and adopt the median.
+        parent_n = yield t.load(self._f(parent, _N_KEYS))
+        j = parent_n
+        while j > i:
+            k = yield t.load(self._f(parent, _KEYS, j - 1))
+            v = yield t.load(self._f(parent, _VALUES, j - 1))
+            yield t.store(self._f(parent, _KEYS, j), k)
+            yield t.store(self._f(parent, _VALUES, j), v)
+            j -= 1
+        j = parent_n + 1
+        while j > i + 1:
+            c = yield t.load(self._f(parent, _CHILDREN, j - 1))
+            yield t.store(self._f(parent, _CHILDREN, j), c)
+            j -= 1
+        med_k = yield t.load(self._f(child, _KEYS, mid))
+        med_v = yield t.load(self._f(child, _VALUES, mid))
+        yield t.store(self._f(parent, _KEYS, i), med_k)
+        yield t.store(self._f(parent, _VALUES, i), med_v)
+        yield t.store(self._f(parent, _CHILDREN, i + 1), sibling)
+        yield t.store(self._f(parent, _N_KEYS), parent_n + 1)
+
+    # -- range / diagnostics -----------------------------------------------------
+
+    def count(self, t):
+        """Number of keys in the tree (full scan; test/diagnostic use)."""
+        total = yield from self._count_node(
+            t, (yield t.load(self.root_ptr_addr)))
+        return total
+
+    def _count_node(self, t, node):
+        n = yield t.load(self._f(node, _N_KEYS))
+        total = n
+        leaf = yield t.load(self._f(node, _LEAF))
+        if not leaf:
+            for i in range(n + 1):
+                child = yield t.load(self._f(node, _CHILDREN, i))
+                total += yield from self._count_node(t, child)
+        return total
+
+    def items_host(self, memory):
+        """Host-side (non-simulated) in-order dump, for test assertions."""
+        root = memory.read(self.root_ptr_addr)
+        out = []
+        self._dump(memory, root, out)
+        return out
+
+    def _dump(self, memory, node, out):
+        n = memory.read(self._f(node, _N_KEYS))
+        leaf = memory.read(self._f(node, _LEAF))
+        for i in range(n):
+            if not leaf:
+                self._dump(memory,
+                           memory.read(self._f(node, _CHILDREN, i)), out)
+            out.append((memory.read(self._f(node, _KEYS, i)),
+                        memory.read(self._f(node, _VALUES, i))))
+        if not leaf:
+            self._dump(memory, memory.read(self._f(node, _CHILDREN, n)), out)

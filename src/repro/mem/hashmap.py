@@ -1,0 +1,77 @@
+"""An open-addressing hash table in simulated shared memory.
+
+Linear probing over (key, value) slot pairs; key 0 is reserved as the
+empty marker.  Used by workloads that need keyed shared state without the
+B-tree's depth (e.g. the mp3d-like collision cells).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
+
+_EMPTY = 0
+
+
+class HashMap:
+    """Fixed-capacity shared hash map with non-zero integer keys."""
+
+    def __init__(self, arena, capacity):
+        self.capacity = capacity
+        self.slots = arena.alloc(capacity * 2, line_align=True)
+
+    def _slot(self, index):
+        return self.slots + (index % self.capacity) * 2 * WORD_SIZE
+
+    def _probe(self, key):
+        if key == _EMPTY:
+            raise MemoryError_("hash map keys must be non-zero")
+        # Knuth multiplicative hash keeps probe starts well spread.
+        return (key * 2654435761) % self.capacity
+
+    def put(self, t, key, value):
+        """Insert or overwrite ``key``; raises when full."""
+        index = self._probe(key)
+        for _ in range(self.capacity):
+            slot = self._slot(index)
+            k = yield t.load(slot)
+            if k in (_EMPTY, key):
+                if k == _EMPTY:
+                    yield t.store(slot, key)
+                yield t.store(slot + WORD_SIZE, value)
+                return
+            index += 1
+        raise MemoryError_("hash map full")
+
+    def get(self, t, key):
+        """Return the value for ``key`` or None."""
+        index = self._probe(key)
+        for _ in range(self.capacity):
+            slot = self._slot(index)
+            k = yield t.load(slot)
+            if k == _EMPTY:
+                return None
+            if k == key:
+                value = yield t.load(slot + WORD_SIZE)
+                return value
+            index += 1
+        return None
+
+    def add(self, t, key, delta, default=0):
+        """Add ``delta`` to ``key``'s value (inserting ``default`` first if
+        absent); returns the new value."""
+        index = self._probe(key)
+        for _ in range(self.capacity):
+            slot = self._slot(index)
+            k = yield t.load(slot)
+            if k == _EMPTY:
+                yield t.store(slot, key)
+                yield t.store(slot + WORD_SIZE, default + delta)
+                return default + delta
+            if k == key:
+                value = yield t.load(slot + WORD_SIZE)
+                value += delta
+                yield t.store(slot + WORD_SIZE, value)
+                return value
+            index += 1
+        raise MemoryError_("hash map full")

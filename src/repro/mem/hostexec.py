@@ -1,0 +1,68 @@
+"""Host-side execution of simulated code (no machine, no timing).
+
+Data-structure methods in :mod:`repro.mem` are generators yielding
+operations.  :func:`run_host` drives such a generator directly against a
+:class:`~repro.memsys.memory.MemoryImage` — no transactions, no timing —
+which is exactly what a loader needs to pre-populate shared structures
+before the measured run, and what unit tests use to exercise structure
+logic in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.sim import ops as O
+
+
+class HostContext:
+    """A stand-in for the CPU handle: only the op constructors."""
+
+    cpu_id = -1
+
+    def load(self, addr):
+        return O.Load(addr)
+
+    def store(self, addr, value):
+        return O.Store(addr, value)
+
+    def imld(self, addr):
+        return O.ImLoad(addr)
+
+    def imst(self, addr, value):
+        return O.ImStore(addr, value)
+
+    def imstid(self, addr, value):
+        return O.ImStoreId(addr, value)
+
+    def release(self, addr):
+        return O.Release(addr)
+
+    def alu(self, cycles=1):
+        return O.Alu(cycles)
+
+
+def run_host(generator, memory):
+    """Drive ``generator`` to completion against ``memory``; returns its
+    return value.  Only data operations are meaningful; ALU and release
+    ops are no-ops, and transactional control ops are rejected."""
+    value = None
+    while True:
+        try:
+            op = generator.send(value)
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(op, (O.Load, O.ImLoad)):
+            value = memory.read(op.addr)
+        elif isinstance(op, (O.Store, O.ImStore, O.ImStoreId)):
+            memory.write(op.addr, op.value)
+            value = None
+        elif isinstance(op, (O.Alu, O.Release, O.Fence)):
+            value = None
+        else:
+            raise SimulationError(
+                f"host execution cannot run transactional op {op!r}")
+
+
+def host(fn, memory, *args):
+    """Convenience: ``host(tree.insert, memory, key, value)``."""
+    return run_host(fn(HostContext(), *args), memory)

@@ -1,0 +1,62 @@
+"""Build-time allocation of the shared address space.
+
+A :class:`SharedArena` hands out shared-heap addresses while a workload is
+being *constructed* (before the machine runs), and can pre-initialize the
+memory image — the moral equivalent of the loader laying out ``.data``.
+Run-time (transactional) allocation is the job of
+:class:`repro.mem.heap.SharedHeap`.
+"""
+
+from __future__ import annotations
+
+from repro.common.addr import PRIVATE_BASE, SHARED_BASE
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
+
+
+class SharedArena:
+    """Bump allocator over the shared segment, used at build time."""
+
+    def __init__(self, machine, base=SHARED_BASE):
+        self._machine = machine
+        self._next = base
+
+    @property
+    def config(self):
+        return self._machine.config
+
+    @property
+    def memory(self):
+        return self._machine.memory
+
+    def alloc(self, n_words, line_align=False, isolate=False):
+        """Allocate ``n_words``; returns the base address.
+
+        ``line_align`` starts the block on a cache-line boundary;
+        ``isolate`` additionally pads the block to a whole number of lines
+        so it shares its line(s) with nothing else (used for variables
+        like ``schedcomm`` where false sharing would change semantics).
+        """
+        line = self.config.line_size
+        if line_align or isolate:
+            self._next += (-self._next) % line
+        addr = self._next
+        size = n_words * WORD_SIZE
+        if isolate:
+            size += (-size) % line
+        self._next += size
+        if self._next > PRIVATE_BASE:
+            raise MemoryError_("shared arena exhausted")
+        return addr
+
+    def alloc_word(self, initial=0, isolate=False):
+        """Allocate and initialize a single word."""
+        addr = self.alloc(1, isolate=isolate)
+        self.memory.write(addr, initial)
+        return addr
+
+    def alloc_block(self, values, line_align=False):
+        """Allocate and initialize a block of words."""
+        addr = self.alloc(len(values), line_align=line_align)
+        self.memory.write_block(addr, values)
+        return addr

@@ -1,0 +1,104 @@
+"""A singly-linked list in simulated memory, with early-release traversal.
+
+The paper keeps the ``release`` instruction out of high-level languages
+but uses it "in low-level code" (§4.7).  The canonical pattern is
+hand-over-hand traversal: a reader walking a long list drops each node
+from its read-set once it has moved past it, keeping only a sliding
+window.  A concurrent writer mutating the *already-passed* prefix then
+no longer violates the reader — at the documented price: the traversal
+is no longer atomic over the whole list, only over the retained window.
+
+Node layout (words): [value, next_addr]; next = 0 terminates.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
+
+_VALUE = 0
+_NEXT = 1
+NODE_WORDS = 2
+
+
+class LinkedList:
+    """A shared singly-linked list with a node pool."""
+
+    def __init__(self, arena, capacity_nodes):
+        self.capacity = capacity_nodes
+        # One node per cache line: list neighbours must not false-share.
+        line_words = arena.config.line_size // WORD_SIZE
+        self._node_stride = line_words * WORD_SIZE
+        self.pool = arena.alloc(capacity_nodes * line_words,
+                                line_align=True)
+        self.head_addr = arena.alloc_word(0, isolate=True)
+        self.next_free_addr = arena.alloc_word(0, isolate=True)
+
+    def _node_addr(self, index):
+        return self.pool + index * self._node_stride
+
+    # -- transactional operations ------------------------------------------------
+
+    def _alloc_node(self, t):
+        index = yield t.load(self.next_free_addr)
+        if index >= self.capacity:
+            raise MemoryError_("linked-list node pool exhausted")
+        yield t.store(self.next_free_addr, index + 1)
+        return self._node_addr(index)
+
+    def push_front(self, t, value):
+        """Prepend ``value``."""
+        node = yield from self._alloc_node(t)
+        head = yield t.load(self.head_addr)
+        yield t.store(node + _VALUE * WORD_SIZE, value)
+        yield t.store(node + _NEXT * WORD_SIZE, head)
+        yield t.store(self.head_addr, node)
+        return node
+
+    def set_value(self, t, node, value):
+        """Overwrite a node's value in place."""
+        yield t.store(node + _VALUE * WORD_SIZE, value)
+
+    def find_node(self, t, value):
+        """Address of the first node holding ``value``, or 0."""
+        node = yield t.load(self.head_addr)
+        while node:
+            current = yield t.load(node + _VALUE * WORD_SIZE)
+            if current == value:
+                return node
+            node = yield t.load(node + _NEXT * WORD_SIZE)
+        return 0
+
+    def traverse_sum(self, t, early_release=False):
+        """Walk the whole list summing values.
+
+        With ``early_release`` each node (and the head pointer, once
+        past) is dropped from the read-set after use — writers to the
+        passed prefix no longer conflict with this walker (§4.7).
+        """
+        total = 0
+        previous = None
+        node = yield t.load(self.head_addr)
+        if early_release:
+            yield t.release(self.head_addr)
+        while node:
+            value = yield t.load(node + _VALUE * WORD_SIZE)
+            nxt = yield t.load(node + _NEXT * WORD_SIZE)
+            total += value
+            if early_release and previous is not None:
+                yield t.release(previous)
+            previous = node
+            node = nxt
+        if early_release and previous is not None:
+            yield t.release(previous)
+        return total
+
+    # -- host-side (tests) ---------------------------------------------------------
+
+    def values_host(self, memory):
+        out = []
+        node = memory.read(self.head_addr)
+        while node:
+            out.append(memory.read(node + _VALUE * WORD_SIZE))
+            node = memory.read(node + _NEXT * WORD_SIZE)
+        return out

@@ -1,0 +1,84 @@
+"""A bounded multi-word-item FIFO queue in simulated shared memory.
+
+Used by the condsync runtime as the scheduler command queue (paper
+Figure 3) and by workloads as a generic producer/consumer buffer.  The
+head and tail counters live on separate cache lines so enqueuers and the
+dequeuer do not false-share.
+
+Operations are plain transactional code: callers run them inside a
+transaction (usually an open-nested one) and the HTM provides atomicity.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
+
+
+class BoundedQueue:
+    """Circular FIFO of fixed-size items."""
+
+    def __init__(self, arena, capacity, item_words=1):
+        if capacity < 1 or item_words < 1:
+            raise MemoryError_("queue needs capacity >= 1, item_words >= 1")
+        self.capacity = capacity
+        self.item_words = item_words
+        self.head_addr = arena.alloc_word(0, isolate=True)  # next to dequeue
+        self.tail_addr = arena.alloc_word(0, isolate=True)  # next to enqueue
+        self.slots = arena.alloc(capacity * item_words, line_align=True)
+
+    def _slot_addr(self, index):
+        return self.slots + (index % self.capacity) * \
+            self.item_words * WORD_SIZE
+
+    # -- transactional operations ------------------------------------------------
+
+    def try_enqueue(self, t, item):
+        """Append ``item`` (sequence of ``item_words`` words); returns
+        False if the queue is full."""
+        if len(item) != self.item_words:
+            raise MemoryError_(
+                f"item has {len(item)} words, queue holds {self.item_words}")
+        tail = yield t.load(self.tail_addr)
+        head = yield t.load(self.head_addr)
+        if tail - head >= self.capacity:
+            return False
+        base = self._slot_addr(tail)
+        for i, word in enumerate(item):
+            yield t.store(base + i * WORD_SIZE, word)
+        yield t.store(self.tail_addr, tail + 1)
+        return True
+
+    def enqueue(self, t, item):
+        """Append ``item``; raises if full (callers size queues so this
+        cannot happen in a committed execution)."""
+        ok = yield from self.try_enqueue(t, item)
+        if not ok:
+            raise MemoryError_("bounded queue overflow")
+
+    def try_dequeue(self, t):
+        """Pop the oldest item (list of words), or None if empty."""
+        head = yield t.load(self.head_addr)
+        tail = yield t.load(self.tail_addr)
+        if head == tail:
+            return None
+        base = self._slot_addr(head)
+        item = []
+        for i in range(self.item_words):
+            item.append((yield t.load(base + i * WORD_SIZE)))
+        yield t.store(self.head_addr, head + 1)
+        return item
+
+    def size(self, t):
+        head = yield t.load(self.head_addr)
+        tail = yield t.load(self.tail_addr)
+        return tail - head
+
+    # -- non-tracked peek (polling without read-set pollution) --------------------
+
+    def im_nonempty(self, t):
+        """Immediate-load peek: is there (probably) an item?  Used by
+        polling loops that must not add queue state to their read-set."""
+        head = yield t.imld(self.head_addr)
+        tail = yield t.imld(self.tail_addr)
+        return tail != head

@@ -1,0 +1,23 @@
+"""Memory-system substrate: memory image, caches, bus, timing models."""
+
+from repro.memsys.bus import Bus
+from repro.memsys.coherence import MsiMemory
+from repro.memsys.cache import Cache
+from repro.memsys.hierarchy import (
+    FlatMemory,
+    HierarchicalMemory,
+    MemoryModel,
+    make_memory_model,
+)
+from repro.memsys.memory import MemoryImage
+
+__all__ = [
+    "Bus",
+    "MsiMemory",
+    "Cache",
+    "FlatMemory",
+    "HierarchicalMemory",
+    "MemoryImage",
+    "MemoryModel",
+    "make_memory_model",
+]

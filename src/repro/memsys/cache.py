@@ -1,0 +1,78 @@
+"""Set-associative cache timing model.
+
+These caches model *timing and capacity only*: they track which line
+addresses are resident and in what LRU order, while data values live in
+the :class:`~repro.memsys.memory.MemoryImage` (plus the HTM's speculative
+buffers).  Keeping data out of the timing model lets the same cache stand
+under both versioning schemes without duplicating state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.addr import line_of
+
+
+class Cache:
+    """An LRU set-associative cache of line addresses."""
+
+    def __init__(self, name, size_bytes, assoc, line_size, stats):
+        self.name = name
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = size_bytes // (line_size * assoc)
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self._stats = stats.scope(name)
+
+    def _set_for(self, line_addr):
+        return self._sets[(line_addr // self.line_size) % self.n_sets]
+
+    def lookup(self, addr):
+        """True (and LRU-touch) if the line holding ``addr`` is resident."""
+        line = line_of(addr, self.line_size)
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self._stats.add("hits")
+            return True
+        self._stats.add("misses")
+        return False
+
+    def insert(self, addr):
+        """Bring the line holding ``addr`` in; return the evicted line
+        address, or ``None`` if no eviction was needed."""
+        line = line_of(addr, self.line_size)
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim, _ = cache_set.popitem(last=False)
+            self._stats.add("evictions")
+        cache_set[line] = True
+        self._stats.add("fills")
+        return victim
+
+    def invalidate(self, addr):
+        """Drop the line holding ``addr`` if resident; True if it was."""
+        line = line_of(addr, self.line_size)
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            del cache_set[line]
+            self._stats.add("invalidations")
+            return True
+        return False
+
+    def contains(self, addr):
+        """Presence check without touching LRU state or stats."""
+        line = line_of(addr, self.line_size)
+        return line in self._set_for(line)
+
+    def resident_lines(self):
+        """All resident line addresses (diagnostics / tests)."""
+        lines = []
+        for cache_set in self._sets:
+            lines.extend(cache_set)
+        return lines

@@ -1,0 +1,141 @@
+"""Memory models: per-CPU timing for loads, stores, and commit broadcasts.
+
+Two implementations share one interface:
+
+* :class:`HierarchicalMemory` — the paper's machine: private L1 + L2 per
+  CPU, a shared split-transaction bus, and main memory.  Latency of an
+  access is where it hits; misses also contend for the bus.
+* :class:`FlatMemory` — a 1-cycle model for functional tests, so semantic
+  test suites run fast and deterministically without cache effects.
+
+Both are *timing only*; data correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+from repro.common.addr import line_of
+from repro.memsys.bus import Bus
+from repro.memsys.cache import Cache
+
+
+class MemoryModel:
+    """Interface both timing models implement."""
+
+    def access(self, cpu_id, addr, is_write, now):
+        """Cycles for CPU ``cpu_id`` to access ``addr`` starting at ``now``."""
+        raise NotImplementedError
+
+    def commit_broadcast(self, cpu_id, line_addrs, now):
+        """Cycles for ``cpu_id`` to broadcast its committed write-set and
+        invalidate remote copies."""
+        raise NotImplementedError
+
+    def arbitrate_commit(self, now):
+        """Cycles to win commit ordering (the TCC commit token)."""
+        raise NotImplementedError
+
+
+class FlatMemory(MemoryModel):
+    """Every access costs one cycle; broadcasts are free."""
+
+    def access(self, cpu_id, addr, is_write, now):
+        return 1
+
+    def commit_broadcast(self, cpu_id, line_addrs, now):
+        return 1
+
+    def arbitrate_commit(self, now):
+        return 1
+
+
+class HierarchicalMemory(MemoryModel):
+    """Private L1/L2 caches per CPU over a shared bus."""
+
+    def __init__(self, config, stats):
+        self._config = config
+        self._stats = stats
+        self.bus = Bus(config, stats)
+        self.l1 = []
+        self.l2 = []
+        for cpu_id in range(config.n_cpus):
+            scope = stats.scope(f"cpu{cpu_id}")
+            self.l1.append(
+                Cache("l1", config.l1_size, config.l1_assoc,
+                      config.line_size, scope))
+            self.l2.append(
+                Cache("l2", config.l2_size, config.l2_assoc,
+                      config.line_size, scope))
+
+    def access(self, cpu_id, addr, is_write, now):
+        config = self._config
+        extra = 0
+        if is_write and config.detection == "eager":
+            # Eager machines acquire exclusive ownership on stores; remote
+            # copies are invalidated, and the upgrade costs a bus grant if
+            # anyone actually held the line.
+            extra = self._invalidate_remote(cpu_id, addr, now)
+        if self.l1[cpu_id].lookup(addr):
+            return config.l1_latency + extra
+        if self.l2[cpu_id].lookup(addr):
+            self.l1[cpu_id].insert(addr)
+            return config.l2_latency + extra
+        # Miss to memory: arbitrate for the bus, transfer the line, pay the
+        # DRAM latency, then fill both cache levels.
+        done = self.bus.line_transfer(now + config.l2_latency)
+        done += config.mem_latency
+        self.l2[cpu_id].insert(addr)
+        self.l1[cpu_id].insert(addr)
+        return done - now + extra
+
+    def _invalidate_remote(self, cpu_id, addr, now):
+        """Invalidate remote copies of the line holding ``addr``; returns
+        the upgrade latency (one bus grant if any copy existed)."""
+        had_copy = False
+        for other in range(self._config.n_cpus):
+            if other == cpu_id:
+                continue
+            if self.l1[other].invalidate(addr):
+                had_copy = True
+            if self.l2[other].invalidate(addr):
+                had_copy = True
+        if had_copy:
+            return self.bus.acquire(now, 1) - now
+        return 0
+
+    def commit_broadcast(self, cpu_id, line_addrs, now):
+        """Broadcast the committed write-set over the bus.
+
+        Each line occupies the bus for one transfer; remote caches snoop
+        and invalidate their copies (so later remote reads miss and fetch
+        the committed data).
+        """
+        lines = sorted({line_of(a, self._config.line_size)
+                        for a in line_addrs})
+        if not lines:
+            return 1
+        done = self.bus.acquire(
+            now, self._config.line_transfer_cycles * len(lines))
+        for other in range(self._config.n_cpus):
+            if other == cpu_id:
+                continue
+            for line in lines:
+                self.l1[other].invalidate(line)
+                self.l2[other].invalidate(line)
+        return done - now
+
+    def arbitrate_commit(self, now):
+        """Winning the commit token costs one bus arbitration."""
+        done = self.bus.acquire(now, 1)
+        return done - now
+
+
+def make_memory_model(config, stats):
+    """Build the memory model selected by ``config.timing`` and
+    ``config.coherence``."""
+    if not config.timing:
+        return FlatMemory()
+    if config.coherence == "msi":
+        from repro.memsys.coherence import MsiMemory
+
+        return MsiMemory(config, stats)
+    return HierarchicalMemory(config, stats)

@@ -1,0 +1,35 @@
+"""Software runtime: atomic API, handler ABI, and transactional system
+libraries (I/O, conditional synchronization, allocation)."""
+
+from repro.runtime.contention import (
+    ContentionPolicy,
+    ExponentialBackoff,
+    ImmediateRetry,
+    RetryCap,
+    run_with_policy,
+)
+from repro.runtime.constructs import RETRY, TxBarrier, or_else, when
+from repro.runtime.core import RESUME, RETRY_CODE, Runtime
+from repro.runtime.groupcommit import CommitGroup
+from repro.runtime.sysclock import SimClock
+from repro.runtime import overheads
+from repro.runtime.rtstate import RtState
+
+__all__ = [
+    "CommitGroup",
+    "ContentionPolicy",
+    "ExponentialBackoff",
+    "ImmediateRetry",
+    "RESUME",
+    "RETRY",
+    "RETRY_CODE",
+    "RetryCap",
+    "RtState",
+    "Runtime",
+    "SimClock",
+    "TxBarrier",
+    "or_else",
+    "overheads",
+    "run_with_policy",
+    "when",
+]

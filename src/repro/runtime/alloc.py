@@ -1,0 +1,81 @@
+"""Transactional memory allocation (paper Section 5).
+
+``malloc`` inside a transaction runs as an **open-nested** transaction —
+including the ``brk`` path — so allocator metadata creates no dependences
+between user transactions.  For unmanaged languages a violation/abort
+handler is registered that frees the block if the user transaction rolls
+back; for managed languages (``managed=True``) no handler is needed, as
+garbage collection would reclaim the block.
+
+``free`` inside a transaction must be *deferred*: the block can only
+really be released once the transaction is known to commit, so it runs as
+a commit handler.
+"""
+
+from __future__ import annotations
+
+
+class TxAlloc:
+    """The transactional allocation library over a shared heap."""
+
+    def __init__(self, runtime, heap):
+        self.runtime = runtime
+        self.heap = heap
+
+    def malloc(self, t, n_words, managed=False):
+        """Allocate ``n_words`` from the shared heap; returns the address.
+
+        Inside a transaction: open-nested allocation plus compensation
+        handlers (unless ``managed``).  Outside: a plain transaction.
+        """
+        rt = self.runtime
+
+        def do_alloc(t):
+            addr = yield from self.heap.malloc(t, n_words)
+            return addr
+
+        if t.depth() == 0:
+            addr = yield from rt.atomic(t, do_alloc)
+            return addr
+        addr = yield from rt.atomic_open(t, do_alloc)
+        if not managed:
+            yield from rt.register_violation_handler(
+                t, self._compensate_free, addr)
+            yield from rt.register_abort_handler(
+                t, self._compensate_free, addr)
+        t.stats.add("alloc.mallocs")
+        return addr
+
+    def _compensate_free(self, t, addr):
+        """Violation/abort handler: undo a committed open-nested malloc."""
+        rt = self.runtime
+
+        def do_free(t):
+            yield from self.heap.free(t, addr)
+
+        yield from rt.atomic_open(t, do_free)
+        t.stats.add("alloc.compensated_frees")
+
+    def free(self, t, addr):
+        """Release ``addr``.  Inside a transaction, the release is
+        deferred to a commit handler (the block must survive a rollback
+        of the surrounding transaction)."""
+        rt = self.runtime
+
+        def do_free(t):
+            yield from self.heap.free(t, addr)
+
+        if t.depth() == 0:
+            yield from rt.atomic(t, do_free)
+            return
+        yield from rt.register_commit_handler(t, self._deferred_free, addr)
+        t.stats.add("alloc.deferred_frees")
+
+    def _deferred_free(self, t, addr):
+        """Commit handler: the real free, open-nested."""
+        rt = self.runtime
+
+        def do_free(t):
+            yield from self.heap.free(t, addr)
+
+        yield from rt.atomic_open(t, do_free)

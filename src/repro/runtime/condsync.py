@@ -1,0 +1,241 @@
+"""Conditional synchronization: the Atomos-style watch/retry scheduler
+(paper Section 5 and Figure 3).
+
+A dedicated *scheduler thread* runs a transaction that never commits.  It
+keeps a special shared word, ``schedcomm``, in its read-set, and registers
+a violation handler.  A thread that wants to wait for a value to change:
+
+1. registers a *cancel* violation handler (so that if its own transaction
+   is violated before it parks, the scheduler forgets its watches);
+2. ``watch(addr)`` — in an **open-nested** transaction, enqueues
+   ``(tid, addr)`` on the scheduler command queue and writes
+   ``schedcomm``, whose commit violates the scheduler;
+3. waits for the scheduler's acknowledgement (closing the window between
+   discarding its own read-set and the scheduler adopting the watch — the
+   waiter's read-set covers the watched data until the hand-off is
+   complete, so no wakeup is lost);
+4. ``retry()`` — aborts with the retry code; the atomic wrapper parks the
+   thread (yields the CPU).
+
+The scheduler's violation handler distinguishes two cases by ``xvaddr``:
+a poke on ``schedcomm`` (drain the command queue, adopt watch addresses
+into the scheduler's read-set by loading them, acknowledge) versus a
+write to a watched address (look up the waiting threads and wake them,
+paper: "add the proper thread to the run queue").  Either way it returns
+RESUME: the scheduler transaction is never rolled back.
+"""
+
+from __future__ import annotations
+
+from repro.common.addr import line_of
+from repro.common.params import WORD_SIZE
+from repro.mem.queue import BoundedQueue
+from repro.runtime.core import RESUME, RETRY_CODE
+from repro.sim import ops as O
+
+#: Command-queue address meaning "cancel all of this thread's watches".
+CANCEL = -1
+
+
+class CondScheduler:
+    """The conditional-synchronization runtime for one machine."""
+
+    def __init__(self, runtime, arena, queue_capacity=64):
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.arena = arena
+        self.schedcomm_addr = arena.alloc_word(0, isolate=True)
+        self.commands = BoundedQueue(arena, queue_capacity, item_words=2)
+        #: Per-CPU acknowledgement counters (scheduler-written, isolated
+        #: lines, read by waiters with imld).
+        self.ack_addrs = [
+            arena.alloc_word(0, isolate=True)
+            for _ in range(self.machine.config.n_cpus)
+        ]
+        #: Per-CPU sent-command counters, incremented *inside* the command
+        #: open transaction so an aborted enqueue never counts.
+        self.sent_addrs = [
+            arena.alloc_word(0, isolate=True)
+            for _ in range(self.machine.config.n_cpus)
+        ]
+        #: Scheduler-private bookkeeping (models the wait/run queues of
+        #: Figure 3, which live in the scheduler's own memory).
+        self._waiting = {}        # watched unit -> set of cpu ids
+        self._watches_of = {}     # cpu id -> set of watched units
+        self._cmd_seq = [0] * self.machine.config.n_cpus
+        self._adopted = set()     # units already in the scheduler read-set
+        self.scheduler_cpu = None
+
+    def _unit(self, addr):
+        return line_of(addr, self.machine.config.line_size)
+
+    # ------------------------------------------------------------------
+    # Scheduler thread
+    # ------------------------------------------------------------------
+
+    def spawn_scheduler(self, cpu_id=None):
+        """Start the scheduler as a daemon thread; returns its CPU."""
+        cpu = self.runtime.spawn(self._scheduler_program, cpu_id=cpu_id,
+                                 daemon=True)
+        self.scheduler_cpu = cpu.cpu_id
+        return cpu
+
+    def _scheduler_program(self, t):
+        rt = self.runtime
+
+        def body(t):
+            yield from rt.register_violation_handler(t, self._sched_vh)
+            yield t.load(self.schedcomm_addr)  # adopt schedcomm
+            while True:
+                # Poll the command queue too (catches pokes sent before
+                # schedcomm entered our read-set, and acts as Figure 3's
+                # "process run and wait queues" loop body).
+                pending = yield from self.commands.im_nonempty(t)
+                if pending:
+                    yield from self._drain_commands(t)
+                yield t.alu(25)
+
+        yield from rt.atomic(t, body)
+
+    def _sched_vh(self, t):
+        """The scheduler's violation handler (Figure 3's
+        ``schedviohandler``)."""
+        vaddr = t.isa.xvaddr
+        yield t.alu()
+        if vaddr == self._unit(self.schedcomm_addr):
+            # Drain only when interrupted at the scheduler transaction's
+            # own level: watch adoption must load into the *level-1*
+            # read-set.  If this handler interrupted one of our own
+            # open-nested queue transactions (depth > 1), adopted reads
+            # would land in — and vanish with — that transaction, so we
+            # leave the commands queued; the main loop's poll drains them
+            # moments later.
+            if t.depth() == 1:
+                yield from self._drain_commands(t)
+        else:
+            waiters = sorted(self._waiting.pop(vaddr, ()))
+            for cpu_id in waiters:
+                self._watches_of.get(cpu_id, set()).discard(vaddr)
+                yield t.alu(2)  # move thread from wait to run queue
+                yield O.Wake(cpu_id)
+                t.stats.add("condsync.wakeups")
+        return RESUME
+
+    def _drain_commands(self, t):
+        """Dequeue and apply every pending command, then acknowledge."""
+        rt = self.runtime
+        acked = set()
+        while True:
+            def dequeue(t):
+                item = yield from self.commands.try_dequeue(t)
+                return item
+
+            item = yield from rt.atomic_open(t, dequeue)
+            if item is None:
+                break
+            cpu_id, addr = item
+            if addr == CANCEL:
+                for unit in self._watches_of.pop(cpu_id, set()):
+                    watchers = self._waiting.get(unit)
+                    if watchers:
+                        watchers.discard(cpu_id)
+                        if not watchers:
+                            del self._waiting[unit]
+                yield t.alu(2)
+                t.stats.add("condsync.cancels")
+            else:
+                unit = self._unit(addr)
+                self._waiting.setdefault(unit, set()).add(cpu_id)
+                self._watches_of.setdefault(cpu_id, set()).add(unit)
+                if unit not in self._adopted:
+                    self._adopted.add(unit)
+                # Adopt the address into the scheduler's read-set: this is
+                # the load that makes future writers violate us.
+                yield t.load(addr)
+                t.stats.add("condsync.watches")
+            acked.add(cpu_id)
+            self._cmd_seq[cpu_id] += 1
+        for cpu_id in acked:
+            # Acknowledge with an idempotent immediate store: permanent,
+            # no conflict tracking, read by the waiter with imld.
+            yield t.imstid(self.ack_addrs[cpu_id], self._cmd_seq[cpu_id])
+
+    # ------------------------------------------------------------------
+    # Waiter-side API (used inside a transaction wrapped by self.atomic)
+    # ------------------------------------------------------------------
+
+    def atomic(self, t, body, *args):
+        """Like ``runtime.atomic`` but understands ``retry``: on the retry
+        abort code the thread parks until the scheduler wakes it, then
+        re-executes the body (Figure 3's consumer/producer pattern)."""
+
+        def policy(code):
+            return "park" if code == RETRY_CODE else "raise"
+
+        result = yield from self.runtime.atomic(
+            t, body, *args, abort_policy=policy)
+        return result
+
+    def register_cancel(self, t):
+        """Register the *cancel* violation handler (Figure 3): if this
+        transaction is violated, tell the scheduler to drop its watches."""
+        yield from self.runtime.register_violation_handler(
+            t, self._cancel_handler)
+
+    def _send_command(self, t, addr):
+        """Enqueue ``(tid, addr)``, bump the per-CPU sent counter, and
+        poke ``schedcomm`` — all in one open-nested transaction, so an
+        aborted attempt leaves no trace."""
+        rt = self.runtime
+
+        def cmd(t):
+            yield from self.commands.enqueue(t, [t.cpu_id, addr])
+            sent = yield t.load(self.sent_addrs[t.cpu_id])
+            yield t.store(self.sent_addrs[t.cpu_id], sent + 1)
+            value = yield t.load(self.schedcomm_addr)
+            yield t.store(self.schedcomm_addr, value + 1)
+
+        yield from rt.atomic_open(t, cmd)
+
+    def _cancel_handler(self, t):
+        yield from self._send_command(t, CANCEL)
+        # Fall through: the dispatcher proceeds to roll back and restart.
+
+    def watch(self, t, addr):
+        """Ask the scheduler to watch ``addr``; returns once the scheduler
+        has adopted it (so the watch hand-off cannot lose a wakeup)."""
+        yield from self._send_command(t, addr)
+        # Spin (with untracked loads) until the scheduler has processed at
+        # least as many of our commands as we have committed.  Our own
+        # read-set still covers the watched data throughout, so a write
+        # racing with this hand-off violates us and the cancel handler
+        # cleans up.
+        target = yield t.imld(self.sent_addrs[t.cpu_id])
+        while True:
+            ack = yield t.imld(self.ack_addrs[t.cpu_id])
+            if ack >= target:
+                break
+            yield t.alu(5)
+        t.stats.add("condsync.watch_calls")
+
+    def cancel_watches(self, t):
+        """Drop all of this thread's watches (housekeeping for threads
+        that stop waiting for good).  Valid inside or outside a
+        transaction."""
+        if t.depth() == 0:
+            rt = self.runtime
+
+            def cmd(t):
+                yield from self.commands.enqueue(t, [t.cpu_id, CANCEL])
+                sent = yield t.load(self.sent_addrs[t.cpu_id])
+                yield t.store(self.sent_addrs[t.cpu_id], sent + 1)
+                value = yield t.load(self.schedcomm_addr)
+                yield t.store(self.schedcomm_addr, value + 1)
+
+            yield from rt.atomic(t, cmd)
+        else:
+            yield from self._send_command(t, CANCEL)
+
+    def retry(self, t):
+        """Give up until a watched value changes (parks via the wrapper)."""
+        yield from self.runtime.retry(t)

@@ -1,0 +1,144 @@
+"""High-level language constructs over the HTM ISA (paper Section 5).
+
+The paper argues its three mechanisms suffice to implement the
+transactional languages of the day; this module builds the canonical
+constructs to demonstrate it:
+
+* :func:`when` — conditional atomic (Harris's ``conditional atomic``,
+  X10's ``when``): run the body once a guard over watched addresses
+  holds, sleeping via watch/retry until it might.
+* :func:`or_else` — Transactional Haskell's ``orElse``: try the first
+  alternative; if it *retries* (blocks), roll back only that alternative
+  (a closed-nested transaction) and try the second; if every alternative
+  retries, sleep until any of their watched addresses changes.
+* :class:`TxBarrier` — the "efficient barriers" of §3: arrivals count
+  atomically; waiters watch the generation word and sleep, and the last
+  arrival's commit wakes exactly the waiting cohort.
+
+All of these sit purely on the public runtime/condsync API — no new
+hardware is involved, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError, TxAborted
+from repro.runtime.core import RETRY_CODE
+
+#: Return value used by or_else alternatives to signal "I would block".
+RETRY = "__construct_retry__"
+
+
+def when(cond, t, guard, body, watch_addrs):
+    """Conditional atomic: wait until ``guard`` returns truthy, then run
+    ``body`` in the same transaction.
+
+    ``cond`` is the machine's :class:`~repro.runtime.condsync
+    .CondScheduler`; ``guard`` and ``body`` are generator functions
+    taking ``t``; ``watch_addrs`` lists the addresses whose change might
+    make the guard pass.  Returns ``body``'s result.
+    """
+
+    def attempt(t):
+        ready = yield from guard(t)
+        if not ready:
+            yield from cond.register_cancel(t)
+            for addr in watch_addrs:
+                yield from cond.watch(t, addr)
+            yield from cond.retry(t)
+        result = yield from body(t)
+        return result
+
+    result = yield from cond.atomic(t, attempt)
+    return result
+
+
+def or_else(cond, t, alternatives):
+    """Transactional Haskell's ``orElse`` chain.
+
+    ``alternatives`` is a sequence of ``(body, watch_addrs)`` pairs.
+    Each body runs as a *closed-nested* transaction and may either
+    return a value (taken, the chain commits) or return
+    :data:`RETRY` to signal it would block.  If every alternative
+    retries, the thread sleeps until any watched address changes, then
+    re-runs the chain.  Closed nesting is what makes the partial
+    alternative's effects disappear without losing the outer
+    transaction — the composability argument of §3.
+    """
+    if not alternatives:
+        raise ReproError("or_else needs at least one alternative")
+    runtime = cond.runtime
+
+    def chain(t):
+        for body, _ in alternatives:
+            def nested(t, body=body):
+                result = yield from body(t)
+                if result == RETRY:
+                    # Roll back only this alternative's effects.
+                    yield from runtime.abort(t, code=RETRY_CODE)
+                return result
+
+            try:
+                result = yield from runtime.atomic(t, nested)
+            except TxAborted as aborted:
+                if aborted.code != RETRY_CODE:
+                    raise
+                continue
+            return result
+        # Every alternative would block: sleep on the union of watches.
+        yield from cond.register_cancel(t)
+        for _, watch_addrs in alternatives:
+            for addr in watch_addrs:
+                yield from cond.watch(t, addr)
+        yield from cond.retry(t)
+
+    result = yield from cond.atomic(t, chain)
+    return result
+
+
+class TxBarrier:
+    """A transactional sense-reversing barrier (§3's "efficient
+    barriers").
+
+    Arrivals increment a count atomically; all but the last watch the
+    generation word and park.  The last arrival resets the count and
+    bumps the generation — its commit violates the scheduler's watched
+    line and wakes the whole cohort at once.
+    """
+
+    def __init__(self, cond, arena, parties):
+        if parties < 1:
+            raise ReproError("barrier needs >= 1 parties")
+        self.cond = cond
+        self.parties = parties
+        self.count_addr = arena.alloc_word(0, isolate=True)
+        self.generation_addr = arena.alloc_word(0, isolate=True)
+
+    def wait(self, t):
+        """Arrive and wait for the rest; returns the generation passed."""
+        cond = self.cond
+
+        def arrive(t):
+            generation = yield t.load(self.generation_addr)
+            count = yield t.load(self.count_addr)
+            if count + 1 == self.parties:
+                # Last arrival: release everyone.
+                yield t.store(self.count_addr, 0)
+                yield t.store(self.generation_addr, generation + 1)
+                return ("released", generation)
+            yield t.store(self.count_addr, count + 1)
+            return ("waiting", generation)
+
+        state, generation = yield from cond.atomic(t, arrive)
+        if state == "released":
+            return generation
+
+        def until_released(t):
+            current = yield t.load(self.generation_addr)
+            if current == generation:
+                yield from cond.register_cancel(t)
+                yield from cond.watch(t, self.generation_addr)
+                yield from cond.retry(t)
+            return current
+
+        yield from cond.atomic(t, until_released)
+        return generation

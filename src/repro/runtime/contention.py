@@ -1,0 +1,119 @@
+"""Contention management policies (paper Sections 3 and 4.3).
+
+The paper motivates violation handlers with "software control over
+conflicts to improve performance and eliminate starvation".  This module
+provides the standard policies as reusable pieces that plug into
+``runtime.atomic``:
+
+* :class:`ImmediateRetry` — the hardware default (retry at once).
+* :class:`ExponentialBackoff` — deterministic, seeded exponential backoff
+  with jitter: after the k-th consecutive rollback, spin
+  ``base * 2^k (+/- jitter)`` cycles before re-executing.  This is the
+  classic starvation-avoidance policy.
+* :class:`RetryCap` — give up (surface :class:`TxAborted`) after N
+  consecutive rollbacks, so software can fall back (e.g. to the serial
+  mode of :meth:`repro.runtime.core.Runtime.atomic`'s
+  ``capacity``/fallback path, or an application-level alternative).
+
+Policies are deterministic: randomness comes from a seeded generator per
+(cpu, policy), keeping every simulation bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ContentionPolicy:
+    """Interface: decides what a transaction does after a rollback."""
+
+    def reset(self):
+        """A transaction committed: clear any per-transaction state."""
+
+    def backoff_cycles(self, attempt):
+        """Cycles to wait before re-execution ``attempt`` (1-based =
+        first retry).  Return 0 for none, or None to give up (the
+        transaction aborts with code ``"retry-cap"``)."""
+        raise NotImplementedError
+
+
+class ImmediateRetry(ContentionPolicy):
+    """Retry at once (the conventional-HTM behaviour)."""
+
+    def backoff_cycles(self, attempt):
+        return 0
+
+
+class ExponentialBackoff(ContentionPolicy):
+    """Deterministic exponential backoff with jitter."""
+
+    def __init__(self, base=20, factor=2.0, cap=2000, jitter=0.5, seed=1):
+        if base < 1 or factor < 1.0 or cap < base:
+            raise ValueError("backoff needs base >= 1, factor >= 1, "
+                             "cap >= base")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def backoff_cycles(self, attempt):
+        ideal = min(self.cap, self.base * (self.factor ** (attempt - 1)))
+        if self.jitter:
+            spread = ideal * self.jitter
+            ideal += self._rng.uniform(-spread, spread)
+        return max(1, int(ideal))
+
+
+class RetryCap(ContentionPolicy):
+    """Delegate to an inner policy, but give up after ``max_attempts``."""
+
+    def __init__(self, inner=None, max_attempts=16):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.inner = inner if inner is not None else ImmediateRetry()
+        self.max_attempts = max_attempts
+
+    def reset(self):
+        self.inner.reset()
+
+    def backoff_cycles(self, attempt):
+        if attempt > self.max_attempts:
+            return None
+        return self.inner.backoff_cycles(attempt)
+
+
+def run_with_policy(runtime, t, body, *args, policy, open_=False):
+    """Run ``body`` atomically under a contention policy.
+
+    A generator: ``result = yield from run_with_policy(...)``.  The
+    policy's backoff executes *outside* the hardware transaction — the
+    rolled-back transaction has already restarted in place, so the spin
+    happens at the restarted level before re-executing the body, which
+    is what a violation-handler-driven backoff would do (paper §4.3).
+    """
+    attempt = 0
+
+    def instrumented(t, *inner_args):
+        # Body wrapper so the backoff runs inside the retry loop of
+        # runtime.atomic (the spin is part of the restarted transaction).
+        nonlocal attempt
+        if attempt:
+            cycles = policy.backoff_cycles(attempt)
+            if cycles is None:
+                # Give up: a proper xabort so the hardware transaction
+                # terminates cleanly and TxAborted reaches the caller.
+                yield from runtime.abort(t, code="retry-cap")
+            if cycles:
+                yield t.alu(cycles)
+                t.stats.add("rt.backoff_cycles", cycles)
+        attempt += 1
+        result = yield from body(t, *inner_args)
+        return result
+
+    try:
+        result = yield from runtime.atomic(t, instrumented, *args,
+                                           open_=open_)
+    finally:
+        policy.reset()
+    return result

@@ -1,0 +1,93 @@
+"""Group commit: coordinated atomicity across transactions (paper §4.1).
+
+"[Two-phase commit] also enables the transaction to coordinate with
+other code before it commits.  ...we can coordinate multiple
+transactions collaborating on the same task for group commit [20]."
+
+A :class:`CommitGroup` of N members makes their commits atomic *as a
+set*: every member runs its own transaction on its own CPU, validates —
+at which point it can no longer be rolled back — and then waits, between
+``xvalidate`` and ``xcommit``, until all N members have validated.  Only
+then do they all commit.  An observer therefore never sees a partial
+task: either no member has committed or, as soon as any has, the rest
+are validated and un-abortable.
+
+Arrival is an *open-nested* transaction — exactly §4.1's rule that code
+between ``xvalidate`` and ``xcommit`` "should be wrapped within
+open-nested transactions" when it touches shared data (a bare imld/imst
+read-modify-write would lose concurrent arrivals).  Only the wait spin
+uses untracked ``imld``.  Members must touch pairwise-disjoint data; a
+conflicting pair could never both be admitted to the validated set
+(§6.1) and the group would deadlock, so the runtime detects the stall
+and raises.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+
+class CommitGroup:
+    """Coordinates one N-member group commit."""
+
+    #: Spin quantum while waiting for the rest of the group.
+    POLL_CYCLES = 10
+    #: Give up after this many polls (a conflicting pair would deadlock
+    #: in xvalidate otherwise).
+    POLL_LIMIT = 5_000
+
+    def __init__(self, runtime, arena, members):
+        if members < 1:
+            raise ReproError("a commit group needs >= 1 members")
+        self.runtime = runtime
+        self.members = members
+        self.validated_addr = arena.alloc_word(0, isolate=True)
+        self.generation_addr = arena.alloc_word(0, isolate=True)
+
+    def atomic(self, t, body, *args):
+        """Run ``body`` as this thread's member transaction; its commit
+        happens together with the rest of the group."""
+        runtime = self.runtime
+
+        def member(t):
+            result = yield from body(t, *args)
+            yield from runtime.register_commit_handler(
+                t, self._rendezvous_handler)
+            return result
+
+        result = yield from runtime.atomic(t, member)
+        return result
+
+    def _rendezvous_handler(self, t):
+        """Commit handler: runs after xvalidate — announce (open-nested,
+        per §4.1), then wait for the whole group before allowing xcommit
+        (a sense-reversing barrier, reusable across rounds)."""
+        runtime = self.runtime
+
+        def arrive(t):
+            generation = yield t.load(self.generation_addr)
+            count = yield t.load(self.validated_addr)
+            if count + 1 >= self.members:
+                # Last validator releases the round.
+                yield t.store(self.validated_addr, 0)
+                yield t.store(self.generation_addr, generation + 1)
+                return generation, True
+            yield t.store(self.validated_addr, count + 1)
+            return generation, False
+
+        generation, released = yield from runtime.atomic_open(t, arrive)
+        t.stats.add("groupcommit.arrivals")
+        if released:
+            return
+        polls = 0
+        while True:
+            current = yield t.imld(self.generation_addr)
+            if current != generation:
+                return
+            polls += 1
+            if polls > self.POLL_LIMIT:
+                arrived = yield t.imld(self.validated_addr)
+                raise ReproError(
+                    "commit group never completed: members conflict or "
+                    f"are missing (validated {arrived}/{self.members})")
+            yield t.alu(self.POLL_CYCLES)

@@ -1,0 +1,68 @@
+"""The paper's canonical open-nesting system call: ``time`` (§4.5).
+
+"We can use them within a transaction to perform system calls without
+creating frequent conflicts through system state (e.g., time)."
+
+The kernel keeps a clock word in shared memory, updated by a periodic
+tick thread.  A transaction that reads the clock *transactionally* puts
+the clock line in its read-set — every subsequent tick then violates it,
+so long transactions that ask for the time livelock against the clock.
+Reading it inside an **open-nested** transaction leaves nothing in the
+ancestor's read-set: ticks no longer touch the caller.
+
+(The open-nested read still observes a coherent value: the open
+transaction itself would be violated and retried if a tick raced it.)
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A kernel clock: shared time word plus the tick daemon."""
+
+    def __init__(self, runtime, arena, tick_interval=200):
+        self.runtime = runtime
+        self.arena = arena
+        self.tick_interval = tick_interval
+        self.time_addr = arena.alloc_word(0, isolate=True)
+
+    def spawn_ticker(self, cpu_id=None):
+        """Start the periodic kernel tick as a daemon thread."""
+        return self.runtime.spawn(self._ticker, cpu_id=cpu_id, daemon=True)
+
+    def _ticker(self, t):
+        runtime = self.runtime
+        while True:
+            yield t.alu(self.tick_interval)
+
+            def tick(t):
+                value = yield t.load(self.time_addr)
+                yield t.store(self.time_addr, value + 1)
+
+            yield from runtime.atomic(t, tick)
+
+    # ------------------------------------------------------------------
+
+    def gettime(self, t):
+        """The ``time`` system call, safe inside any transaction: an
+        open-nested read, so the clock never enters the caller's
+        read-set."""
+        runtime = self.runtime
+
+        def syscall(t):
+            value = yield t.load(self.time_addr)
+            return value
+
+        if t.depth() == 0:
+            value = yield from runtime.atomic(t, syscall)
+        else:
+            value = yield from runtime.atomic_open(t, syscall)
+        t.stats.add("sysclock.gettime")
+        return value
+
+    def gettime_naive(self, t):
+        """The anti-pattern: a plain transactional read of the clock.
+        Kept for the comparative test/benchmark — every subsequent tick
+        violates the calling transaction."""
+        value = yield t.load(self.time_addr)
+        return value

@@ -1,0 +1,19 @@
+"""Execution-driven CMP simulation: the engine and the op vocabulary.
+
+``Machine`` is exported lazily to avoid an import cycle (the engine
+imports the ISA layer, which imports :mod:`repro.sim.ops`).
+"""
+
+from repro.sim import ops
+from repro.sim.trace import ALL_KINDS, TraceEvent, Tracer
+
+__all__ = ["ALL_KINDS", "CAPACITY_RETRY_LIMIT", "Machine", "ops",
+           "TraceEvent", "Tracer"]
+
+
+def __getattr__(name):
+    if name in ("Machine", "CAPACITY_RETRY_LIMIT"):
+        from repro.sim import engine
+
+        return getattr(engine, name)
+    raise AttributeError(name)

@@ -1,0 +1,367 @@
+"""The execution-driven chip-multiprocessor simulation engine.
+
+:class:`Machine` runs one simulated program per CPU.  Programs are Python
+generators yielding :mod:`~repro.sim.ops` operations; the engine is a
+discrete-event scheduler that always steps the runnable CPU with the
+smallest local time, so inter-CPU event ordering is globally consistent
+and fully deterministic (ties break by CPU id).
+
+The engine also implements the *hardware* side of the paper's handler
+architecture:
+
+* at every instruction boundary it checks the violation registers and, if
+  a conflict is pending and reporting is enabled, suspends the program and
+  runs the dispatcher code named by ``xvhcode`` (or ``xahcode`` after an
+  ``xabort``) as an interrupt-style frame on the same CPU;
+* when a dispatcher decides to roll back, the engine throws
+  :class:`~repro.common.errors.TxRollback` into the program, unwinding the
+  Python frames of the transaction body down to its ``atomic`` wrapper —
+  the model of discarding the speculative register state and jumping to
+  the restart PC.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    CapacityAbort,
+    DeadlockError,
+    SimulationError,
+    TxRollback,
+)
+from repro.htm.system import HtmSystem
+from repro.isa.codereg import CodeRegistry
+from repro.isa.context import DONE, RUNNABLE, WAITING, Cpu
+from repro.isa.dispatch import (
+    HandlerOutcome,
+    default_abort_dispatcher,
+    default_violation_dispatcher,
+)
+from repro.isa.state import IsaState
+from repro.memsys.hierarchy import make_memory_model
+from repro.memsys.memory import MemoryImage
+from repro.common.stats import Stats
+from repro.sim.ops import Op
+
+#: Hard cap on consecutive capacity aborts of one transaction before the
+#: engine declares the workload unrunnable on this hardware configuration.
+CAPACITY_RETRY_LIMIT = 16
+
+
+class Machine:
+    """One simulated CMP: CPUs, memory system, HTM, and the scheduler."""
+
+    def __init__(self, config, stats=None):
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.memory = MemoryImage()
+        self.memmodel = make_memory_model(config, self.stats)
+        self.htm = HtmSystem(config, self.memory, self.stats)
+        self.codereg = CodeRegistry()
+        self.cpus = [Cpu(cpu_id, self) for cpu_id in range(config.n_cpus)]
+        self.htm.attach_violation_sink(self._on_violation)
+        self.now = 0
+        self._capacity_retries = [0] * config.n_cpus
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def make_isa_state(self, cpu_id):
+        return IsaState(cpu_id)
+
+    def add_thread(self, program_factory, cpu_id=None, daemon=False):
+        """Bind a program to a CPU.
+
+        ``program_factory(t)`` must return a generator; ``t`` is the
+        :class:`~repro.isa.context.Cpu` handle the program drives.
+        """
+        if cpu_id is None:
+            cpu_id = next(
+                (c.cpu_id for c in self.cpus if c.state == DONE
+                 and not c.frames), None)
+            if cpu_id is None:
+                raise SimulationError("no free CPU for program")
+        cpu = self.cpus[cpu_id]
+        if cpu.frames:
+            raise SimulationError(f"cpu {cpu_id} already has a program")
+        program = program_factory(cpu)
+        if not hasattr(program, "send"):
+            raise SimulationError(
+                "program_factory must return a generator (did you forget "
+                "a yield?)")
+        cpu.frames = [program]
+        cpu.state = RUNNABLE
+        cpu.resume_at = 0
+        cpu.daemon = daemon
+        return cpu
+
+    # ------------------------------------------------------------------
+    # Violation plumbing
+    # ------------------------------------------------------------------
+
+    def _on_violation(self, violation):
+        self.cpus[violation.victim].deliver(violation)
+
+    def wake(self, cpu_id):
+        """Wake ``cpu_id`` (IPI); a wakeup of a runnable thread banks a
+        token so a subsequent ``YieldCpu`` does not sleep (no lost
+        wakeups)."""
+        cpu = self.cpus[cpu_id]
+        if cpu.state == WAITING:
+            cpu.state = RUNNABLE
+            cpu.resume_at = max(cpu.resume_at, self.now + 1)
+        elif cpu.state == RUNNABLE:
+            cpu.wake_tokens += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles=200_000_000, max_steps=None):
+        """Run until every non-daemon program finishes.
+
+        Returns the final cycle count.  Raises
+        :class:`~repro.common.errors.DeadlockError` if all live threads
+        are waiting, and :class:`SimulationError` on cycle overrun.
+        """
+        steps = 0
+        while True:
+            if all(cpu.state == DONE or cpu.daemon
+                   for cpu in self.cpus if cpu.frames):
+                break
+            runnable = [
+                cpu for cpu in self.cpus
+                if cpu.frames and cpu.state == RUNNABLE
+            ]
+            if not runnable:
+                waiting = [
+                    cpu.cpu_id for cpu in self.cpus
+                    if cpu.frames and cpu.state == WAITING and not cpu.daemon
+                ]
+                raise DeadlockError(
+                    f"all threads waiting at cycle {self.now}: {waiting}")
+            cpu = min(runnable, key=lambda c: (c.resume_at, c.cpu_id))
+            self.now = max(self.now, cpu.resume_at)
+            if self.now > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles")
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                raise SimulationError(f"simulation exceeded {max_steps} steps")
+            self._step(cpu)
+        self.stats.set("cycles", self.now)
+        for failed in self.cpus:
+            if failed.failure is not None:
+                raise failed.failure
+        return self.now
+
+    # ------------------------------------------------------------------
+
+    def _step(self, cpu):
+        # Instruction-boundary checks: abort dispatch takes priority, then
+        # violation delivery.  The reporting-enable flag is the hardware
+        # guard — it is cleared on dispatch and restored by xvret, so a
+        # handler is not recursively interrupted unless it deliberately
+        # re-enables reporting (xenviolrep before an open-nested
+        # transaction, paper footnote 1).
+        deliverable = (cpu.isa.viol_reporting and cpu.isa.has_deliverable()
+                       and cpu.throw_exc is None)
+        if cpu.pending_abort and cpu.throw_exc is None:
+            cpu.pending_abort = False
+            self._push_dispatcher(cpu, kind="abort")
+        elif deliverable:
+            # A stalled operation (e.g. waiting for the commit token) that
+            # gets overtaken by a violation stays parked: it re-issues if
+            # the handler resumes, and is dropped by the rollback path.
+            self._push_dispatcher(cpu, kind="violation")
+
+        # Fetch the next operation (or retry this frame's stalled one).
+        frame_index = len(cpu.frames) - 1
+        if frame_index in cpu.parked and cpu.throw_exc is None:
+            op = cpu.parked.pop(frame_index)
+        else:
+            op = self._advance(cpu)
+            if op is None:
+                return  # frame finished or thread done
+        if not isinstance(op, Op):
+            cpu.failure = SimulationError(
+                f"cpu {cpu.cpu_id} yielded non-op {op!r}")
+            self._kill(cpu)
+            return
+
+        # Execute.
+        try:
+            outcome = cpu.execute(op, self.now)
+        except CapacityAbort as overflow:
+            self._handle_capacity_abort(cpu, overflow)
+            return
+        if outcome.stall:
+            # Retry quickly: an eager-mode winner must re-issue its access
+            # inside the victim's rollback window, before the restarted
+            # victim re-acquires the line (the LogTM retry-after-NACK).
+            cpu.parked[len(cpu.frames) - 1] = op
+            cpu.resume_at = self.now + 2
+            return
+        self._capacity_retries[cpu.cpu_id] = 0
+        cpu.send_value = outcome.value
+        cpu.resume_at = self.now + max(1, outcome.latency)
+        if outcome.deschedule:
+            cpu.state = WAITING
+
+    def _advance(self, cpu):
+        """Advance the top frame; returns the yielded op or None."""
+        frame = cpu.frames[-1]
+        try:
+            if cpu.throw_exc is not None:
+                exc = cpu.throw_exc
+                cpu.throw_exc = None
+                return frame.throw(exc)
+            value = cpu.send_value
+            cpu.send_value = None
+            return frame.send(value)
+        except StopIteration as stop:
+            self._frame_finished(cpu, stop.value)
+            return None
+        except TxRollback as rollback:
+            # A rollback escaped this frame.  From a dispatcher frame this
+            # is the normal hand-off to the program below; from the
+            # program frame it means no atomic wrapper caught it.
+            if len(cpu.frames) > 1:
+                # The dispatcher died before finishing: re-queue the
+                # conflict it was handling for any level that survives
+                # this rollback (it must be re-delivered, not silently
+                # dropped), then restore the interrupted frame's violation
+                # registers so that if *it* is also a dying dispatcher,
+                # its record is re-queued in turn on the next unwind step.
+                cpu.isa.requeue_current(rollback.level)
+                cpu.parked.pop(len(cpu.frames) - 1, None)
+                cpu.frames.pop()
+                cpu.dispatch_depth -= 1
+                index = len(cpu.frames) - 1
+                cpu.parked.pop(index, None)
+                cpu.saved_sends.pop(index, None)
+                saved = cpu.saved_viol.pop(index, None)
+                if saved is not None:
+                    cpu.isa.xvcurrent, cpu.isa.xvaddr = saved
+                cpu.isa.viol_reporting = True
+                cpu.throw_exc = rollback
+                return None
+            cpu.failure = SimulationError(
+                f"cpu {cpu.cpu_id}: rollback escaped the program "
+                f"(level {rollback.level}, {rollback.reason})")
+            self._kill(cpu)
+            return None
+        except Exception as error:  # noqa: BLE001 - surface workload bugs
+            cpu.failure = error
+            self._kill(cpu)
+            return None
+
+    def _frame_finished(self, cpu, value):
+        if len(cpu.frames) > 1:
+            # A dispatcher returned its outcome.
+            cpu.frames.pop()
+            cpu.dispatch_depth -= 1
+            index = len(cpu.frames) - 1
+            cpu.send_value = cpu.saved_sends.pop(index, None)
+            saved = cpu.saved_viol.pop(index, None)
+            if saved is not None:
+                cpu.isa.xvcurrent, cpu.isa.xvaddr = saved
+            outcome = value if value is not None else HandlerOutcome.resume()
+            self._apply_outcome(cpu, outcome)
+            return
+        # The program finished.
+        cpu.frames = []
+        cpu.result = value
+        cpu.state = DONE
+        if self.htm.depth(cpu.cpu_id):
+            cpu.failure = SimulationError(
+                f"cpu {cpu.cpu_id} finished inside an open transaction "
+                f"(depth {self.htm.depth(cpu.cpu_id)})")
+
+    def _apply_outcome(self, cpu, outcome):
+        if not isinstance(outcome, HandlerOutcome):
+            cpu.failure = SimulationError(
+                f"cpu {cpu.cpu_id}: dispatcher returned {outcome!r}, "
+                "not a HandlerOutcome")
+            self._kill(cpu)
+            return
+        # xvret re-enabled reporting; any conflicts that arrived while the
+        # handler ran are still queued and will re-invoke the innermost
+        # handler at the next instruction boundary (§4.6).
+        cpu.isa.viol_reporting = True
+        if outcome.kind == "resume":
+            self.stats.add(f"cpu{cpu.cpu_id}.htm.handler_resumes")
+            return
+        self.stats.add(f"cpu{cpu.cpu_id}.htm.handler_rollbacks")
+        # The frame receives an exception, not a value; drop its parked
+        # op and any saved op result.
+        cpu.parked.pop(len(cpu.frames) - 1, None)
+        cpu.send_value = None
+        cpu.throw_exc = TxRollback(
+            outcome.level, outcome.reason, code=outcome.code,
+            vaddr=outcome.vaddr)
+
+    def _push_dispatcher(self, cpu, kind):
+        isa = cpu.isa
+        isa.xvpc = cpu.stats.get("instructions")
+        isa.viol_reporting = False
+        # Save the interrupted frame's violation registers and pending op
+        # result; both are restored when the dispatcher resumes it.
+        cpu.saved_viol[len(cpu.frames) - 1] = (isa.xvcurrent, isa.xvaddr)
+        if kind == "violation":
+            isa.pop_next()
+            code_id = isa.xvhcode
+            factory = (self.codereg.get(code_id) if code_id
+                       else default_violation_dispatcher)
+        else:
+            code_id = isa.xahcode
+            factory = (self.codereg.get(code_id) if code_id
+                       else default_abort_dispatcher)
+        cpu.saved_sends[len(cpu.frames) - 1] = cpu.send_value
+        cpu.send_value = None
+        cpu.frames.append(factory(cpu))
+        cpu.dispatch_depth += 1
+        self.stats.add(f"cpu{cpu.cpu_id}.htm.dispatches_{kind}")
+
+    def _handle_capacity_abort(self, cpu, overflow):
+        self._capacity_retries[cpu.cpu_id] += 1
+        self.stats.add(f"cpu{cpu.cpu_id}.htm.capacity_aborts")
+        if self._capacity_retries[cpu.cpu_id] > CAPACITY_RETRY_LIMIT:
+            cpu.failure = SimulationError(
+                f"cpu {cpu.cpu_id}: transaction exceeds hardware capacity "
+                f"even after {CAPACITY_RETRY_LIMIT} retries: "
+                f"{overflow.detail}")
+            self._kill(cpu)
+            return
+        if self.htm.depth(cpu.cpu_id) >= 1:
+            cpu.do_rollback(1)
+        # Unwind any dispatcher frames, then the program, to level 1.
+        while len(cpu.frames) > 1:
+            cpu.frames.pop()
+            cpu.dispatch_depth -= 1
+        cpu.isa.viol_reporting = True
+        cpu.pending_abort = False
+        cpu.parked.clear()
+        cpu.saved_sends.clear()
+        cpu.saved_viol.clear()
+        cpu.send_value = None
+        cpu.throw_exc = CapacityAbort(1, overflow.detail)
+        cpu.resume_at = self.now + 1
+
+    def _kill(self, cpu):
+        for frame in reversed(cpu.frames):
+            frame.close()
+        cpu.frames = []
+        cpu.parked.clear()
+        cpu.saved_sends.clear()
+        cpu.saved_viol.clear()
+        cpu.state = DONE
+        self.htm.abandon_all(cpu.cpu_id)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def results(self):
+        """Per-CPU program return values."""
+        return {cpu.cpu_id: cpu.result for cpu in self.cpus}

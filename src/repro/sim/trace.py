@@ -1,0 +1,166 @@
+"""Structured event tracing for the simulated machine.
+
+A :class:`Tracer` attaches to a :class:`~repro.sim.engine.Machine` and
+records architectural events — commits, violation posts and deliveries,
+handler dispatches, rollbacks, parks/wakes — as typed records with
+timestamps.  It is the debugging instrument for everything the paper's
+mechanisms make subtle (who violated whom, at which nesting level, which
+handler ran, what got rolled back), and several regression tests assert
+against traces directly.
+
+Usage::
+
+    machine = Machine(config)
+    tracer = Tracer(machine, kinds={"commit", "violation"})
+    ... run ...
+    for event in tracer.events:
+        print(event)
+    tracer.detach()
+
+Tracing is implemented by wrapping a handful of well-defined seams
+(HtmSystem.commit / rollback_to, the violation sink, Machine.wake,
+Machine._push_dispatcher); ``detach`` restores them.  Overhead is zero
+when no tracer is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One architectural event."""
+
+    cycle: int
+    kind: str       # commit | violation | delivery | dispatch | rollback
+    #                 | wake | park
+    cpu: int
+    detail: dict
+
+    def __str__(self):
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.cycle:>8}] cpu{self.cpu} {self.kind:<9} {parts}"
+
+
+#: All traceable event kinds.
+ALL_KINDS = frozenset(
+    {"commit", "violation", "delivery", "dispatch", "rollback", "wake"})
+
+
+class Tracer:
+    """Records machine events until detached."""
+
+    def __init__(self, machine, kinds=None, limit=100_000):
+        self.machine = machine
+        self.kinds = frozenset(kinds) if kinds is not None else ALL_KINDS
+        unknown = self.kinds - ALL_KINDS
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self.limit = limit
+        self.events = []
+        self._saved = {}
+        self._attach()
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind, cpu, **detail):
+        if kind not in self.kinds or len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(
+            cycle=self.machine.now, kind=kind, cpu=cpu, detail=detail))
+
+    def _attach(self):
+        machine = self.machine
+        htm = machine.htm
+
+        self._saved["commit"] = htm.commit
+
+        def commit(cpu_id, _orig=htm.commit):
+            result = _orig(cpu_id)
+            if result.kind in ("outer", "open"):
+                self._emit("commit", cpu_id, what=result.kind,
+                           words=len(result.written_words))
+            else:
+                self._emit("commit", cpu_id, what=result.kind)
+            return result
+
+        htm.commit = commit
+
+        self._saved["rollback_to"] = htm.rollback_to
+
+        def rollback_to(cpu_id, level, now=0, _orig=htm.rollback_to):
+            self._emit("rollback", cpu_id, level=level)
+            return _orig(cpu_id, level, now)
+
+        htm.rollback_to = rollback_to
+
+        self._saved["sink"] = htm.detector._sink
+
+        def sink(violation, _orig=htm.detector._sink):
+            self._emit("violation", violation.victim, mask=violation.mask,
+                       addr=violation.addr, source=violation.source)
+            _orig(violation)
+
+        htm.detector._sink = sink
+
+        self._saved["push"] = machine._push_dispatcher
+
+        def push(cpu, kind, _orig=machine._push_dispatcher):
+            _orig(cpu, kind)
+            if kind == "violation":
+                self._emit("delivery", cpu.cpu_id,
+                           mask=cpu.isa.xvcurrent, addr=cpu.isa.xvaddr)
+            self._emit("dispatch", cpu.cpu_id, what=kind,
+                       depth=cpu.dispatch_depth)
+
+        machine._push_dispatcher = push
+
+        self._saved["wake"] = machine.wake
+
+        def wake(cpu_id, _orig=machine.wake):
+            self._emit("wake", cpu_id,
+                       state=machine.cpus[cpu_id].state)
+            _orig(cpu_id)
+
+        machine.wake = wake
+
+    def detach(self):
+        """Restore the machine's un-traced seams."""
+        if not self._saved:
+            return
+        machine = self.machine
+        machine.htm.commit = self._saved["commit"]
+        machine.htm.rollback_to = self._saved["rollback_to"]
+        machine.htm.detector._sink = self._saved["sink"]
+        machine._push_dispatcher = self._saved["push"]
+        machine.wake = self._saved["wake"]
+        self._saved = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    def for_cpu(self, cpu_id):
+        return [e for e in self.events if e.cpu == cpu_id]
+
+    def between(self, start, end):
+        return [e for e in self.events if start <= e.cycle <= end]
+
+    def format(self, kinds=None):
+        """Render the (optionally filtered) trace as text."""
+        selected = self.events
+        if kinds is not None:
+            wanted = frozenset(kinds)
+            selected = [e for e in selected if e.kind in wanted]
+        return "\n".join(str(e) for e in selected)

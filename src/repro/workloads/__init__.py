@@ -1,0 +1,33 @@
+"""Workloads: the Section 7 evaluation programs, rebuilt synthetically."""
+
+from repro.workloads.base import Workload
+from repro.workloads.condsync_bench import CondSyncWorkload
+from repro.workloads.iobench import IoLogWorkload
+from repro.workloads.jbb import JbbWorkload
+from repro.workloads.kernels import (
+    SCIENTIFIC_KERNELS,
+    BarnesKernel,
+    FmmKernel,
+    MoldynKernel,
+    Mp3dKernel,
+    ReductionKernel,
+    SwimKernel,
+    TomcatvKernel,
+    WaterKernel,
+)
+
+__all__ = [
+    "BarnesKernel",
+    "CondSyncWorkload",
+    "IoLogWorkload",
+    "FmmKernel",
+    "JbbWorkload",
+    "MoldynKernel",
+    "Mp3dKernel",
+    "ReductionKernel",
+    "SCIENTIFIC_KERNELS",
+    "SwimKernel",
+    "TomcatvKernel",
+    "WaterKernel",
+    "Workload",
+]

@@ -1,0 +1,60 @@
+"""Workload framework: build, run, verify.
+
+A :class:`Workload` owns its shared-memory layout and thread programs.
+The harness runs the same workload object class under different machine
+configurations (sequential 1-CPU, flat 8-CPU, nested 8-CPU, ...) and
+compares simulated cycle counts — the methodology behind every figure in
+Section 7.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+class Workload:
+    """Base class: subclasses define layout and per-thread programs."""
+
+    #: Short name used in reports.
+    name = "workload"
+
+    def __init__(self, n_threads, seed=1, scale=1.0):
+        self.n_threads = n_threads
+        self.seed = seed
+        self.scale = scale
+
+    # -- to override -------------------------------------------------------
+
+    def setup(self, machine, runtime, arena):
+        """Allocate shared structures and spawn threads."""
+        raise NotImplementedError
+
+    def verify(self, machine):
+        """Check the final memory state; raise on corruption.
+
+        Workloads with a cheap correctness invariant implement this so
+        every benchmark run doubles as a correctness test.
+        """
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self, config, max_cycles=2_000_000_000):
+        """Build a machine, run this workload on it, verify, and return
+        the machine (stats under ``machine.stats``)."""
+        if config.n_cpus < self.min_cpus():
+            raise ReproError(
+                f"{self.name} needs >= {self.min_cpus()} CPUs, config has "
+                f"{config.n_cpus}")
+        machine = Machine(config)
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        self.setup(machine, runtime, arena)
+        machine.run(max_cycles=max_cycles)
+        self.verify(machine)
+        return machine
+
+    def min_cpus(self):
+        return self.n_threads

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import functional_config, paper_config
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+class Bench:
+    """A ready-to-use machine + runtime + arena bundle."""
+
+    def __init__(self, config):
+        self.config = config
+        self.machine = Machine(config)
+        self.runtime = Runtime(self.machine)
+        self.arena = SharedArena(self.machine)
+
+    @property
+    def memory(self):
+        return self.machine.memory
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    def spawn(self, program, *args, **kwargs):
+        return self.runtime.spawn(program, *args, **kwargs)
+
+    def run(self, **kwargs):
+        return self.machine.run(**kwargs)
+
+
+@pytest.fixture
+def bench():
+    """A 4-CPU functional-timing machine (fast, for semantics tests)."""
+    return Bench(functional_config(n_cpus=4))
+
+
+@pytest.fixture
+def bench8():
+    """An 8-CPU functional-timing machine."""
+    return Bench(functional_config(n_cpus=8))
+
+
+@pytest.fixture
+def timed_bench():
+    """A 4-CPU machine with the paper's full memory hierarchy."""
+    return Bench(paper_config(n_cpus=4))
+
+
+def make_bench(**overrides):
+    """Build a bench with arbitrary config overrides."""
+    return Bench(functional_config(**overrides))

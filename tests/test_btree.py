@@ -1,0 +1,174 @@
+"""B-tree tests: host-level structure checks plus concurrent operation."""
+
+import random
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.common.params import functional_config
+from repro.mem.btree import MAX_KEYS, BTree
+from repro.mem.hostexec import host
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+def build(n_cpus=1, nodes=256):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    tree = BTree(arena, capacity_nodes=nodes)
+    return machine, runtime, arena, tree
+
+
+class TestHostLevel:
+    def test_insert_lookup_roundtrip(self):
+        machine, _, _, tree = build()
+        for key in [5, 1, 9, 3, 7]:
+            host(tree.insert, machine.memory, key, key * 2)
+        for key in [5, 1, 9, 3, 7]:
+            assert host(tree.lookup, machine.memory, key) == key * 2
+        assert host(tree.lookup, machine.memory, 100) is None
+
+    def test_sorted_iteration(self):
+        machine, _, _, tree = build()
+        keys = list(range(1, 200))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            host(tree.insert, machine.memory, key, key)
+        items = tree.items_host(machine.memory)
+        assert [k for k, _ in items] == sorted(keys)
+
+    def test_upsert_overwrites(self):
+        machine, _, _, tree = build()
+        host(tree.insert, machine.memory, 4, 40)
+        assert host(tree.insert, machine.memory, 4, 44) is False
+        assert host(tree.lookup, machine.memory, 4) == 44
+        assert host(tree.count, machine.memory) == 1
+
+    def test_update_adds_delta(self):
+        machine, _, _, tree = build()
+        host(tree.insert, machine.memory, 8, 100)
+        assert host(tree.update, machine.memory, 8, -30) == 70
+        assert host(tree.update, machine.memory, 999, 1) is None
+
+    def test_splits_preserve_all_keys(self):
+        machine, _, _, tree = build()
+        n = MAX_KEYS * 10   # force multiple levels of splits
+        for key in range(1, n + 1):
+            host(tree.insert, machine.memory, key, key)
+        assert host(tree.count, machine.memory) == n
+        items = tree.items_host(machine.memory)
+        assert [k for k, _ in items] == list(range(1, n + 1))
+
+    def test_descending_and_interleaved_inserts(self):
+        machine, _, _, tree = build()
+        keys = list(range(100, 0, -1)) + list(range(101, 160))
+        for key in keys:
+            host(tree.insert, machine.memory, key, key)
+        items = tree.items_host(machine.memory)
+        assert [k for k, _ in items] == sorted(keys)
+
+    def test_duplicate_median_update_during_descent(self):
+        """Upserting a key that becomes a split median must update, not
+        duplicate."""
+        machine, _, _, tree = build()
+        for key in range(1, 50):
+            host(tree.insert, machine.memory, key, key)
+        items_before = tree.items_host(machine.memory)
+        medians = [k for k, _ in items_before]
+        for key in medians:
+            host(tree.insert, machine.memory, key, key + 1000)
+        items = tree.items_host(machine.memory)
+        assert len(items) == len(items_before)
+        assert all(v == k + 1000 for k, v in items)
+
+    def test_node_pool_exhaustion(self):
+        machine, _, _, tree = build(nodes=2)
+        with pytest.raises(MemoryError_):
+            for key in range(1, 100):
+                host(tree.insert, machine.memory, key, key)
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("detection,versioning", [
+        ("lazy", "write_buffer"),
+        ("eager", "undo_log"),
+    ])
+    def test_parallel_inserts_linearize(self, detection, versioning):
+        machine = Machine(functional_config(
+            n_cpus=4, detection=detection, versioning=versioning))
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        tree = BTree(arena, capacity_nodes=400)
+        keys = list(range(1, 241))
+        random.Random(11).shuffle(keys)
+        chunks = [keys[i::4] for i in range(4)]
+
+        def program(t, chunk):
+            for key in chunk:
+                def body(t, key=key):
+                    yield from tree.insert(t, key, key * 3)
+                yield from runtime.atomic(t, body)
+
+        for chunk in chunks:
+            runtime.spawn(program, chunk)
+        machine.run(max_cycles=500_000_000)
+        items = tree.items_host(machine.memory)
+        assert [k for k, _ in items] == sorted(keys)
+        assert all(v == k * 3 for k, v in items)
+
+    def test_mixed_read_write_workload(self):
+        machine = Machine(functional_config(n_cpus=4))
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        tree = BTree(arena, capacity_nodes=200)
+        for key in range(1, 65):
+            host(tree.insert, machine.memory, key, 100)
+
+        def updater(t):
+            rng = random.Random(t.cpu_id)
+            plan = [rng.randrange(1, 65) for _ in range(20)]
+            for key in plan:
+                def body(t, key=key):
+                    result = yield from tree.update(t, key, 1)
+                    return result
+                yield from runtime.atomic(t, body)
+            return len(plan)
+
+        for cpu in range(4):
+            runtime.spawn(updater, cpu_id=cpu)
+        machine.run(max_cycles=500_000_000)
+        total = sum(v for _, v in tree.items_host(machine.memory))
+        assert total == 64 * 100 + 4 * 20   # every update exactly once
+
+    def test_nested_library_calls(self):
+        """B-tree ops as closed-nested library calls inside a bigger
+        transaction — the transparent-library scenario of Section 3."""
+        machine = Machine(functional_config(n_cpus=2))
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        tree = BTree(arena, capacity_nodes=100)
+        counter = arena.alloc_word(0, isolate=True)
+
+        def op(t, key):
+            def libcall(t):
+                yield from tree.insert(t, key, key)
+
+            def body(t):
+                value = yield t.load(counter)
+                yield t.alu(40)
+                yield from runtime.atomic(t, libcall)   # nested
+                yield t.store(counter, value + 1)
+
+            yield from runtime.atomic(t, body)
+
+        def program(t, base):
+            for i in range(10):
+                yield from op(t, base + i)
+
+        runtime.spawn(program, 100, cpu_id=0)
+        runtime.spawn(program, 200, cpu_id=1)
+        machine.run(max_cycles=500_000_000)
+        assert machine.memory.read(counter) == 20
+        assert len(tree.items_host(machine.memory)) == 20

@@ -1,0 +1,171 @@
+"""MSI coherence model and double-buffered commit (§6.3.3)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import paper_config
+from repro.common.stats import Stats
+from repro.memsys.coherence import MsiMemory
+from repro.memsys.hierarchy import make_memory_model
+from repro.runtime.core import Runtime
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+BASE = 0x16_0000
+
+
+class TestMsiModel:
+    def make(self, n_cpus=2):
+        return MsiMemory(paper_config(n_cpus=n_cpus, coherence="msi"),
+                         Stats())
+
+    def test_factory_selects_msi(self):
+        model = make_memory_model(
+            paper_config(coherence="msi"), Stats())
+        assert isinstance(model, MsiMemory)
+        with pytest.raises(ConfigError):
+            paper_config(coherence="mesifo")
+
+    def test_read_then_hit(self):
+        mem = self.make()
+        cold = mem.access(0, BASE, False, 0)
+        warm = mem.access(0, BASE, False, 500)
+        assert cold >= 100
+        assert warm == 1
+
+    def test_cache_to_cache_cheaper_than_memory(self):
+        config = paper_config(n_cpus=2, coherence="msi")
+        mem = MsiMemory(config, Stats())
+        mem.access(0, BASE, True, 0)            # cpu0 takes M
+        transfer = mem.access(1, BASE, False, 500)  # served by owner
+        assert transfer < config.mem_latency
+
+    def test_owner_downgrades_on_remote_read(self):
+        mem = self.make()
+        mem.access(0, BASE, True, 0)
+        mem.access(1, BASE, False, 500)
+        line = BASE - BASE % 32
+        assert mem._holders(line)[0] == "S"
+        assert mem._holders(line)[1] == "S"
+
+    def test_write_invalidates_sharers(self):
+        mem = self.make(n_cpus=3)
+        for cpu in range(3):
+            mem.access(cpu, BASE, False, cpu * 10)
+        mem.access(0, BASE, True, 500)           # upgrade
+        line = BASE - BASE % 32
+        assert mem._holders(line) == {0: "M"}
+        assert not mem.l1[1].contains(BASE)
+        assert not mem.l1[2].contains(BASE)
+
+    def test_upgrade_cheaper_than_miss(self):
+        config = paper_config(n_cpus=2, coherence="msi")
+        mem = MsiMemory(config, Stats())
+        mem.access(0, BASE, False, 0)            # S
+        upgrade = mem.access(0, BASE, True, 500)
+        assert upgrade < config.mem_latency
+
+    def test_dirty_eviction_writes_back(self):
+        config = paper_config(n_cpus=1, coherence="msi")
+        stats = Stats()
+        mem = MsiMemory(config, stats)
+        mem.access(0, BASE, True, 0)
+        # Evict BASE from L2 by filling its set with same-index lines.
+        set_span = config.l2_sets * config.line_size
+        for i in range(1, config.l2_assoc + 1):
+            mem.access(0, BASE + i * set_span, False, i * 200)
+        assert stats.get("msi.writebacks") >= 1
+
+    def test_commit_broadcast_claims_ownership(self):
+        mem = self.make()
+        mem.access(1, BASE, False, 0)            # cpu1 shares the line
+        mem.access(0, BASE, False, 10)
+        mem.commit_broadcast(0, {BASE}, 100)
+        line = BASE - BASE % 32
+        assert mem._holders(line) == {0: "M"}
+
+
+class TestMsiEndToEnd:
+    @pytest.mark.parametrize("overrides", [
+        dict(coherence="msi"),
+        dict(coherence="msi", detection="eager", versioning="undo_log"),
+    ])
+    def test_functional_equivalence_with_simple_model(self, overrides):
+        def run(extra):
+            machine = Machine(paper_config(n_cpus=4, **extra))
+            runtime = Runtime(machine)
+
+            def program(t):
+                for _ in range(4):
+                    def body(t):
+                        value = yield t.load(BASE)
+                        yield t.alu(25)
+                        yield t.store(BASE, value + 1)
+
+                    yield from runtime.atomic(t, body)
+
+            for cpu in range(4):
+                runtime.spawn(program, cpu_id=cpu)
+            machine.run()
+            return machine.memory.read(BASE)
+
+        assert run({}) == run(overrides) == 16
+
+    def test_workload_invariants_hold_under_msi(self):
+        from repro.workloads import Mp3dKernel
+
+        workload = Mp3dKernel(n_threads=4, scale=0.5)
+        machine = workload.run(paper_config(n_cpus=4, coherence="msi"))
+        assert machine.stats.get("msi.memory_reads") > 0
+
+
+class TestDoubleBuffering:
+    def build_committer(self, double_buffering):
+        machine = Machine(paper_config(
+            n_cpus=1, double_buffering=double_buffering))
+        runtime = Runtime(machine)
+
+        def program(t):
+            for round_ in range(6):
+                def body(t, round_=round_):
+                    for i in range(12):
+                        yield t.store(BASE + (round_ * 12 + i) * 32, i)
+                    yield t.alu(30)
+
+                yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        return machine
+
+    def test_hides_commit_latency(self):
+        plain = self.build_committer(False)
+        buffered = self.build_committer(True)
+        assert buffered.now < plain.now
+        assert buffered.stats.total("htm.hidden_commit_cycles") > 0
+        # same work committed either way
+        assert plain.memory.snapshot() == buffered.memory.snapshot()
+
+    def test_bus_still_occupied(self):
+        """Hidden from the committer, not from the machine: the broadcast
+        still occupies the bus for everyone else."""
+        buffered = self.build_committer(True)
+        assert buffered.stats.get("bus.busy_cycles") > 0
+
+    def test_semantics_preserved_under_contention(self):
+        machine = Machine(paper_config(n_cpus=4, double_buffering=True))
+        runtime = Runtime(machine)
+
+        def program(t):
+            for _ in range(5):
+                def body(t):
+                    value = yield t.load(BASE)
+                    yield t.alu(20)
+                    yield t.store(BASE, value + 1)
+
+                yield from runtime.atomic(t, body)
+
+        for cpu in range(4):
+            runtime.spawn(program, cpu_id=cpu)
+        machine.run()
+        assert machine.memory.read(BASE) == 20

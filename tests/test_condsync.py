@@ -1,0 +1,229 @@
+"""Conditional-synchronization runtime tests (paper §5, Figure 3)."""
+
+import pytest
+
+from repro.common.params import functional_config, paper_config
+from repro.mem.layout import SharedArena
+from repro.runtime.condsync import CondScheduler
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+def build(n_cpus=4, config=None):
+    machine = Machine(config or functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    cond = CondScheduler(runtime, arena)
+    return machine, runtime, arena, cond
+
+
+def producer_consumer(machine, runtime, arena, cond, n_items,
+                      producer_delay=0, producer_gap=0):
+    available = arena.alloc_word(0, isolate=True)
+    value_cell = arena.alloc_word(0, isolate=True)
+
+    def producer(t):
+        yield t.alu(1 + producer_delay)
+        for i in range(1, n_items + 1):
+            def body(t, i=i):
+                full = yield t.load(available)
+                if full:
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, available)
+                    yield from cond.retry(t)
+                yield t.store(value_cell, i)
+                yield t.store(available, 1)
+            yield from cond.atomic(t, body)
+            if producer_gap:
+                yield t.alu(producer_gap)
+        yield from cond.cancel_watches(t)
+        return "produced"
+
+    def consumer(t):
+        got = []
+        for _ in range(n_items):
+            def body(t):
+                full = yield t.load(available)
+                if not full:
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, available)
+                    yield from cond.retry(t)
+                value = yield t.load(value_cell)
+                yield t.store(available, 0)
+                return value
+            got.append((yield from cond.atomic(t, body)))
+        yield from cond.cancel_watches(t)
+        return got
+
+    cond.spawn_scheduler(cpu_id=0)
+    runtime.spawn(producer, cpu_id=1)
+    runtime.spawn(consumer, cpu_id=2)
+
+
+class TestProducerConsumer:
+    def test_in_order_exactly_once(self):
+        machine, runtime, arena, cond = build()
+        producer_consumer(machine, runtime, arena, cond, n_items=10)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[2] == list(range(1, 11))
+
+    def test_slow_producer_parks_consumer(self):
+        machine, runtime, arena, cond = build()
+        producer_consumer(machine, runtime, arena, cond, n_items=8,
+                          producer_delay=3000, producer_gap=500)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[2] == list(range(1, 9))
+        assert machine.stats.total("rt.parks") >= 1
+        assert machine.stats.total("condsync.wakeups") >= 1
+
+    def test_with_full_timing_model(self):
+        config = paper_config(n_cpus=4)
+        machine, runtime, arena, cond = build(config=config)
+        producer_consumer(machine, runtime, arena, cond, n_items=8,
+                          producer_delay=4000, producer_gap=400)
+        machine.run(max_cycles=30_000_000)
+        assert machine.results()[2] == list(range(1, 9))
+
+    def test_deterministic(self):
+        def run_once():
+            machine, runtime, arena, cond = build()
+            producer_consumer(machine, runtime, arena, cond, n_items=6,
+                              producer_delay=2000, producer_gap=300)
+            machine.run(max_cycles=10_000_000)
+            return machine.now, machine.results()[2]
+
+        assert run_once() == run_once()
+
+
+class TestMultipleWaiters:
+    def test_broadcast_wake_on_shared_flag(self):
+        """Several threads watching one flag all wake when it changes."""
+        machine, runtime, arena, cond = build(n_cpus=5)
+        flag = arena.alloc_word(0, isolate=True)
+
+        def waiter(t):
+            def body(t):
+                go = yield t.load(flag)
+                if not go:
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, flag)
+                    yield from cond.retry(t)
+                return "released"
+            result = yield from cond.atomic(t, body)
+            yield from cond.cancel_watches(t)
+            return result
+
+        def releaser(t):
+            yield t.alu(4000)
+            def body(t):
+                yield t.store(flag, 1)
+            yield from runtime.atomic(t, body)
+            return "released-them"
+
+        cond.spawn_scheduler(cpu_id=0)
+        for cpu in (1, 2, 3):
+            runtime.spawn(waiter, cpu_id=cpu)
+        runtime.spawn(releaser, cpu_id=4)
+        machine.run(max_cycles=10_000_000)
+        for cpu in (1, 2, 3):
+            assert machine.results()[cpu] == "released"
+
+    def test_two_pairs_independent_wakeups(self):
+        """A write to one watched flag must not wake the other pair."""
+        machine, runtime, arena, cond = build(n_cpus=5)
+        flags = [arena.alloc_word(0, isolate=True) for _ in range(2)]
+        cells = [arena.alloc_word(0, isolate=True) for _ in range(2)]
+
+        def consumer(pair):
+            def program(t):
+                def body(t):
+                    full = yield t.load(flags[pair])
+                    if not full:
+                        yield from cond.register_cancel(t)
+                        yield from cond.watch(t, flags[pair])
+                        yield from cond.retry(t)
+                    value = yield t.load(cells[pair])
+                    return value
+                value = yield from cond.atomic(t, body)
+                yield from cond.cancel_watches(t)
+                return value
+            return program
+
+        def producer(pair, delay, value):
+            def program(t):
+                yield t.alu(delay)
+                def body(t):
+                    yield t.store(cells[pair], value)
+                    yield t.store(flags[pair], 1)
+                yield from runtime.atomic(t, body)
+            return program
+
+        cond.spawn_scheduler(cpu_id=0)
+        runtime.spawn(consumer(0), cpu_id=1)
+        runtime.spawn(consumer(1), cpu_id=2)
+        runtime.spawn(producer(0, 3000, 111), cpu_id=3)
+        runtime.spawn(producer(1, 6000, 222), cpu_id=4)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == 111
+        assert machine.results()[2] == 222
+
+
+class TestCancellation:
+    def test_direct_violation_cancels_watch(self):
+        """A waiter violated before parking restarts and re-evaluates
+        the condition instead of sleeping through it (Figure 3's cancel
+        handler)."""
+        machine, runtime, arena, cond = build()
+        flag = arena.alloc_word(0, isolate=True)
+
+        def waiter(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                go = yield t.load(flag)
+                if not go:
+                    yield from cond.register_cancel(t)
+                    yield from cond.watch(t, flag)
+                    yield from cond.retry(t)
+                return len(rounds)
+
+            result = yield from cond.atomic(t, body)
+            yield from cond.cancel_watches(t)
+            return result
+
+        def writer(t):
+            yield t.alu(300)
+            def body(t):
+                yield t.store(flag, 1)
+            yield from runtime.atomic(t, body)
+
+        cond.spawn_scheduler(cpu_id=0)
+        runtime.spawn(waiter, cpu_id=1)
+        runtime.spawn(writer, cpu_id=2)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] >= 2
+        # the scheduler holds no leftover watches for the waiter
+        assert not cond._watches_of.get(1)
+
+    def test_cancel_watches_cleans_scheduler_state(self):
+        machine, runtime, arena, cond = build()
+        flag = arena.alloc_word(0, isolate=True)
+
+        def program(t):
+            def body(t):
+                yield from cond.register_cancel(t)
+                yield from cond.watch(t, flag)
+                # do not retry: just leave the watch behind
+                yield t.alu(1)
+            yield from cond.atomic(t, body)
+            yield from cond.cancel_watches(t)
+            yield t.alu(200)   # let the scheduler drain
+            return "ok"
+
+        cond.spawn_scheduler(cpu_id=0)
+        runtime.spawn(program, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == "ok"
+        assert not cond._watches_of.get(1)
+        assert all(1 not in waiters for waiters in cond._waiting.values())

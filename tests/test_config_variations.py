@@ -1,0 +1,43 @@
+"""Robustness across machine geometries: the HTM semantics must hold at
+any line size, associativity, or core count the config accepts."""
+
+import pytest
+
+from repro.common.params import paper_config
+from repro.workloads import Mp3dKernel, SwimKernel
+
+
+class TestGeometryVariations:
+    @pytest.mark.parametrize("line_size", [16, 32, 64])
+    def test_line_sizes(self, line_size):
+        workload = SwimKernel(n_threads=4, scale=0.5)
+        workload.run(paper_config(n_cpus=4, line_size=line_size))
+
+    @pytest.mark.parametrize("l1_assoc,l2_assoc", [(1, 2), (2, 4), (8, 16)])
+    def test_associativities(self, l1_assoc, l2_assoc):
+        workload = Mp3dKernel(n_threads=4, scale=0.5)
+        workload.run(paper_config(
+            n_cpus=4, l1_assoc=l1_assoc, l2_assoc=l2_assoc))
+
+    @pytest.mark.parametrize("n", [1, 3, 5, 16])
+    def test_core_counts(self, n):
+        workload = SwimKernel(n_threads=n, scale=0.5)
+        workload.run(paper_config(n_cpus=n))
+
+    def test_small_caches_with_capacity_pressure(self):
+        # Small caches shrink the nesting scheme's budget; the workload
+        # still fits (its write-sets are tens of lines).
+        workload = SwimKernel(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(
+            n_cpus=2, l1_size=2048, l2_size=8192))
+        assert machine.stats.total("htm.capacity_aborts") == 0
+
+    def test_max_nesting_two_suffices_for_kernels(self):
+        # The paper evaluates 3 hardware levels and uses at most 2.
+        workload = Mp3dKernel(n_threads=2, scale=0.25)
+        workload.run(paper_config(n_cpus=2, max_nesting=2))
+
+    @pytest.mark.parametrize("latency", [20, 300])
+    def test_memory_latency_extremes(self, latency):
+        workload = SwimKernel(n_threads=2, scale=0.25)
+        workload.run(paper_config(n_cpus=2, mem_latency=latency))

@@ -1,0 +1,233 @@
+"""Language constructs over the ISA: when, orElse, barriers (paper §5)."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.params import functional_config
+from repro.mem.layout import SharedArena
+from repro.mem.queue import BoundedQueue
+from repro.runtime.condsync import CondScheduler
+from repro.runtime.constructs import RETRY, TxBarrier, or_else, when
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+def build(n_cpus=4):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    cond = CondScheduler(runtime, arena)
+    cond.spawn_scheduler(cpu_id=0)
+    return machine, runtime, arena, cond
+
+
+class TestWhen:
+    def test_runs_when_guard_already_true(self):
+        machine, runtime, arena, cond = build()
+        flag = arena.alloc_word(1, isolate=True)
+
+        def guard(t):
+            value = yield t.load(flag)
+            return value
+
+        def body(t):
+            yield t.alu(1)
+            return "ran"
+
+        def program(t):
+            result = yield from when(cond, t, guard, body, [flag])
+            yield from cond.cancel_watches(t)
+            return result
+
+        runtime.spawn(program, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == "ran"
+
+    def test_waits_for_guard(self):
+        machine, runtime, arena, cond = build()
+        flag = arena.alloc_word(0, isolate=True)
+        cell = arena.alloc_word(0, isolate=True)
+
+        def guard(t):
+            value = yield t.load(flag)
+            return value
+
+        def body(t):
+            value = yield t.load(cell)
+            return value
+
+        def waiter(t):
+            result = yield from when(cond, t, guard, body, [flag])
+            yield from cond.cancel_watches(t)
+            return result
+
+        def setter(t):
+            yield t.alu(3000)
+
+            def enable(t):
+                yield t.store(cell, 77)
+                yield t.store(flag, 1)
+
+            yield from runtime.atomic(t, enable)
+
+        runtime.spawn(waiter, cpu_id=1)
+        runtime.spawn(setter, cpu_id=2)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == 77
+        assert machine.stats.total("rt.parks") >= 1
+
+
+class TestOrElse:
+    def test_first_alternative_taken(self):
+        machine, runtime, arena, cond = build()
+        cell = arena.alloc_word(5, isolate=True)
+
+        def first(t):
+            value = yield t.load(cell)
+            return value if value else RETRY
+
+        def second(t):
+            yield t.alu(1)
+            return "second"
+
+        def program(t):
+            result = yield from or_else(
+                cond, t, [(first, [cell]), (second, [])])
+            yield from cond.cancel_watches(t)
+            return result
+
+        runtime.spawn(program, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == 5
+
+    def test_falls_through_to_second(self):
+        machine, runtime, arena, cond = build()
+        empty = arena.alloc_word(0, isolate=True)
+        backup = arena.alloc_word(9, isolate=True)
+        side = arena.alloc_word(0, isolate=True)
+
+        def first(t):
+            # Partial effects must vanish when this alternative retries.
+            yield t.store(side, 123)
+            value = yield t.load(empty)
+            return value if value else RETRY
+
+        def second(t):
+            value = yield t.load(backup)
+            return ("backup", value)
+
+        def program(t):
+            result = yield from or_else(
+                cond, t, [(first, [empty]), (second, [backup])])
+            yield from cond.cancel_watches(t)
+            return result
+
+        runtime.spawn(program, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == ("backup", 9)
+        assert machine.memory.read(side) == 0   # first's store vanished
+
+    def test_blocks_until_any_source_ready(self):
+        """The canonical orElse use: take from whichever queue fills."""
+        machine, runtime, arena, cond = build()
+        queues = [BoundedQueue(arena, 4) for _ in range(2)]
+
+        def taker(index):
+            def body(t):
+                item = yield from queues[index].try_dequeue(t)
+                return item[0] if item is not None else RETRY
+            return body
+
+        def consumer(t):
+            result = yield from or_else(cond, t, [
+                (taker(0), [queues[0].tail_addr]),
+                (taker(1), [queues[1].tail_addr]),
+            ])
+            yield from cond.cancel_watches(t)
+            return result
+
+        def producer(t):
+            yield t.alu(4000)
+
+            def fill(t):
+                yield from queues[1].enqueue(t, [42])   # the second queue
+
+            yield from runtime.atomic(t, fill)
+
+        runtime.spawn(consumer, cpu_id=1)
+        runtime.spawn(producer, cpu_id=2)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == 42
+        assert machine.stats.total("rt.parks") >= 1
+
+    def test_empty_alternatives_rejected(self):
+        machine, runtime, arena, cond = build()
+
+        def program(t):
+            yield from or_else(cond, t, [])
+
+        runtime.spawn(program, cpu_id=1)
+        with pytest.raises(ReproError):
+            machine.run(max_cycles=10_000_000)
+
+
+class TestBarrier:
+    def test_all_parties_pass_together(self):
+        machine, runtime, arena, cond = build(n_cpus=4)
+        barrier = TxBarrier(cond, arena, parties=3)
+        order = []
+
+        def worker(t, tag, delay):
+            yield t.alu(delay)
+            order.append(("arrive", tag, machine.now))
+            yield from barrier.wait(t)
+            order.append(("pass", tag, machine.now))
+            yield from cond.cancel_watches(t)
+            return "done"
+
+        runtime.spawn(worker, "a", 100, cpu_id=1)
+        runtime.spawn(worker, "b", 2000, cpu_id=2)
+        runtime.spawn(worker, "c", 5000, cpu_id=3)
+        machine.run(max_cycles=20_000_000)
+        passes = [entry for entry in order if entry[0] == "pass"]
+        arrivals = [entry for entry in order if entry[0] == "arrive"]
+        assert len(passes) == 3
+        # nobody passed before the last arrival
+        last_arrival = max(entry[2] for entry in arrivals)
+        assert all(entry[2] >= last_arrival for entry in passes)
+
+    def test_reusable_across_generations(self):
+        machine, runtime, arena, cond = build(n_cpus=3)
+        barrier = TxBarrier(cond, arena, parties=2)
+
+        def worker(t, delays):
+            generations = []
+            for delay in delays:
+                yield t.alu(delay)
+                generations.append((yield from barrier.wait(t)))
+            yield from cond.cancel_watches(t)
+            return generations
+
+        runtime.spawn(worker, [100, 200, 300], cpu_id=1)
+        runtime.spawn(worker, [900, 100, 800], cpu_id=2)
+        machine.run(max_cycles=20_000_000)
+        assert machine.results()[1] == [0, 1, 2]
+        assert machine.results()[2] == [0, 1, 2]
+
+    def test_single_party_never_waits(self):
+        machine, runtime, arena, cond = build(n_cpus=2)
+        barrier = TxBarrier(cond, arena, parties=1)
+
+        def worker(t):
+            first = yield from barrier.wait(t)
+            second = yield from barrier.wait(t)
+            return (first, second)
+
+        runtime.spawn(worker, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        assert machine.results()[1] == (0, 1)
+
+    def test_bad_parties_rejected(self):
+        machine, runtime, arena, cond = build(n_cpus=2)
+        with pytest.raises(ReproError):
+            TxBarrier(cond, arena, parties=0)

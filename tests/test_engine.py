@@ -1,0 +1,229 @@
+"""Unit tests: the simulation engine — scheduling, threads, determinism."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.params import functional_config, paper_config
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+from tests.conftest import make_bench
+
+
+def simple(ops_then_result):
+    """Build a program yielding fixed ops."""
+    def program(t):
+        for op in ops_then_result[:-1]:
+            yield op
+        return ops_then_result[-1]
+    return program
+
+
+class TestThreadLifecycle:
+    def test_program_result_collected(self):
+        machine = Machine(functional_config(n_cpus=2))
+        machine.add_thread(simple([O.Alu(3), "done"]))
+        machine.run()
+        assert machine.results()[0] == "done"
+
+    def test_cpu_assignment_explicit_and_automatic(self):
+        machine = Machine(functional_config(n_cpus=3))
+        machine.add_thread(simple([O.Alu(1), "a"]), cpu_id=2)
+        cpu = machine.add_thread(simple([O.Alu(1), "b"]))
+        assert cpu.cpu_id == 0
+        machine.run()
+        assert machine.results()[2] == "a"
+        assert machine.results()[0] == "b"
+
+    def test_double_bind_rejected(self):
+        machine = Machine(functional_config(n_cpus=1))
+        machine.add_thread(simple([O.Alu(1), None]))
+        with pytest.raises(SimulationError):
+            machine.add_thread(simple([O.Alu(1), None]), cpu_id=0)
+
+    def test_no_free_cpu_rejected(self):
+        machine = Machine(functional_config(n_cpus=1))
+        machine.add_thread(simple([O.Alu(1), None]))
+        with pytest.raises(SimulationError):
+            machine.add_thread(simple([O.Alu(1), None]))
+
+    def test_non_generator_program_rejected(self):
+        machine = Machine(functional_config(n_cpus=1))
+        with pytest.raises(SimulationError):
+            machine.add_thread(lambda t: 42)
+
+    def test_non_op_yield_kills_thread(self):
+        machine = Machine(functional_config(n_cpus=1))
+
+        def bad(t):
+            yield "not an op"
+
+        machine.add_thread(bad)
+        with pytest.raises(SimulationError):
+            machine.run()
+
+    def test_workload_exception_propagates(self):
+        machine = Machine(functional_config(n_cpus=1))
+
+        def boom(t):
+            yield O.Alu(1)
+            raise ValueError("workload bug")
+
+        machine.add_thread(boom)
+        with pytest.raises(ValueError):
+            machine.run()
+
+    def test_finishing_inside_transaction_is_error(self):
+        machine = Machine(functional_config(n_cpus=1))
+
+        def leaky(t):
+            yield O.XBegin()
+
+        machine.add_thread(leaky)
+        with pytest.raises(SimulationError):
+            machine.run()
+
+
+class TestTimingAndDeterminism:
+    def test_alu_advances_time(self):
+        machine = Machine(functional_config(n_cpus=1))
+        machine.add_thread(simple([O.Alu(100), None]))
+        cycles = machine.run()
+        assert cycles >= 100
+
+    def test_instruction_count(self):
+        machine = Machine(functional_config(n_cpus=1))
+        machine.add_thread(simple([O.Alu(5), O.Fence(), None]))
+        machine.run()
+        assert machine.stats.get("cpu0.instructions") == 6
+
+    def test_deterministic_across_runs(self):
+        def build():
+            machine = Machine(paper_config(n_cpus=4))
+            shared = 0x1_0000
+
+            def worker(t):
+                from repro.common.errors import TxRollback
+
+                yield O.XBegin()
+                while True:
+                    try:
+                        value = yield O.Load(shared)
+                        yield O.Alu(7)
+                        yield O.Store(shared, value + 1)
+                        yield O.XValidate()
+                        yield O.XCommit()
+                        break
+                    except TxRollback:
+                        continue
+
+            for _ in range(4):
+                machine.add_thread(worker)
+            machine.run()
+            return machine.now, machine.memory.read(shared)
+
+        assert build() == build()
+
+    def test_max_cycles_enforced(self):
+        machine = Machine(functional_config(n_cpus=1))
+
+        def forever(t):
+            while True:
+                yield O.Alu(10)
+
+        machine.add_thread(forever)
+        with pytest.raises(SimulationError):
+            machine.run(max_cycles=1000)
+
+    def test_tie_break_by_cpu_id(self):
+        machine = Machine(functional_config(n_cpus=2))
+        order = []
+
+        def watcher(tag):
+            def program(t):
+                yield O.Alu(1)
+                order.append(tag)
+            return program
+
+        machine.add_thread(watcher("cpu1"), cpu_id=1)
+        machine.add_thread(watcher("cpu0"), cpu_id=0)
+        machine.run()
+        assert order == ["cpu0", "cpu1"]
+
+
+class TestYieldAndWake:
+    def test_yield_then_wake(self):
+        machine = Machine(functional_config(n_cpus=2))
+
+        def sleeper(t):
+            yield O.YieldCpu()
+            return "woke"
+
+        def waker(t):
+            yield O.Alu(50)
+            yield O.Wake(0)
+
+        machine.add_thread(sleeper, cpu_id=0)
+        machine.add_thread(waker, cpu_id=1)
+        machine.run()
+        assert machine.results()[0] == "woke"
+
+    def test_wake_token_prevents_lost_wakeup(self):
+        machine = Machine(functional_config(n_cpus=2))
+
+        def sleeper(t):
+            yield O.Alu(100)       # wake arrives while still runnable
+            yield O.YieldCpu()     # must not sleep
+            return "survived"
+
+        def waker(t):
+            yield O.Alu(10)
+            yield O.Wake(0)
+
+        machine.add_thread(sleeper, cpu_id=0)
+        machine.add_thread(waker, cpu_id=1)
+        machine.run()
+        assert machine.results()[0] == "survived"
+
+    def test_deadlock_detected(self):
+        machine = Machine(functional_config(n_cpus=2))
+
+        def sleeper(t):
+            yield O.YieldCpu()
+
+        machine.add_thread(sleeper, cpu_id=0)
+        machine.add_thread(sleeper, cpu_id=1)
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_daemon_does_not_block_exit(self):
+        machine = Machine(functional_config(n_cpus=2))
+
+        def daemon(t):
+            while True:
+                yield O.Alu(10)
+
+        def worker(t):
+            yield O.Alu(100)
+            return "done"
+
+        machine.add_thread(daemon, cpu_id=0, daemon=True)
+        machine.add_thread(worker, cpu_id=1)
+        machine.run()
+        assert machine.results()[1] == "done"
+
+    def test_wake_of_finished_thread_ignored(self):
+        machine = Machine(functional_config(n_cpus=2))
+
+        def quick(t):
+            yield O.Alu(1)
+
+        def waker(t):
+            yield O.Alu(500)
+            yield O.Wake(0)
+            return "ok"
+
+        machine.add_thread(quick, cpu_id=0)
+        machine.add_thread(waker, cpu_id=1)
+        machine.run()
+        assert machine.results()[1] == "ok"

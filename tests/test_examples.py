@@ -1,0 +1,30 @@
+"""Every example must run clean end-to-end (they assert their own
+correctness), so the documented entry points cannot rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath(
+        "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[e.stem for e in EXAMPLES])
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}")
+    assert "OK" in result.stdout or "nesting vs flattening" in result.stdout
+
+
+def test_all_documented_examples_exist():
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    for example in EXAMPLES:
+        assert f"examples/{example.name}" in text, (
+            f"{example.name} missing from the README example list")

@@ -1,0 +1,204 @@
+"""Runtime exceptions within transactions (paper §3 and §5).
+
+A Python exception raised inside an atomic block must abort the
+transaction — running abort handlers (compensation), discarding the
+speculative state — and then propagate to the code outside, unwinding
+nested transactions level by level.
+"""
+
+import pytest
+
+from repro.common.params import functional_config
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+SHARED = 0x11_0000
+
+
+def build(n_cpus=2):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    return machine, runtime
+
+
+class TestExceptionUnwind:
+    def test_exception_rolls_back_and_propagates(self):
+        machine, runtime = build(1)
+
+        def body(t):
+            yield t.store(SHARED, 99)
+            raise ValueError("boom")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except ValueError as error:
+                return str(error)
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "boom"
+        assert machine.memory.read(SHARED) == 0   # store rolled back
+        assert machine.htm.depth(0) == 0          # no dangling transaction
+
+    def test_abort_handlers_compensate_on_exception(self):
+        machine, runtime = build(1)
+        log = []
+
+        def compensate(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def body(t):
+            yield from runtime.register_abort_handler(t, compensate, "undo")
+            yield t.store(SHARED, 1)
+            raise RuntimeError("library blew up")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except RuntimeError:
+                return "handled"
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "handled"
+        assert log == ["undo"]
+
+    def test_nested_unwinding_level_by_level(self):
+        machine, runtime = build(1)
+        log = []
+
+        def compensate(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def inner(t):
+            yield from runtime.register_abort_handler(t, compensate,
+                                                      "inner-undo")
+            yield t.store(SHARED + 64, 2)
+            raise KeyError("deep failure")
+
+        def outer(t):
+            yield from runtime.register_abort_handler(t, compensate,
+                                                      "outer-undo")
+            yield t.store(SHARED, 1)
+            yield from runtime.atomic(t, inner)
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, outer)
+            except KeyError:
+                return "unwound"
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "unwound"
+        # compensation ran innermost-first, one abort per level
+        assert log == ["inner-undo", "outer-undo"]
+        assert machine.memory.read(SHARED) == 0
+        assert machine.memory.read(SHARED + 64) == 0
+        assert machine.htm.depth(0) == 0
+
+    def test_exception_caught_between_levels(self):
+        """Catching between nesting levels keeps the outer transaction
+        alive — the try/catch error-handling pattern of §3."""
+        machine, runtime = build(1)
+
+        def inner(t):
+            yield t.store(SHARED + 64, 5)
+            raise ValueError("recoverable")
+
+        def outer(t):
+            yield t.store(SHARED, 1)
+            try:
+                yield from runtime.atomic(t, inner)
+            except ValueError:
+                yield t.store(SHARED + 128, 7)   # recovery path
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+            return "committed"
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "committed"
+        assert machine.memory.read(SHARED) == 1        # outer survived
+        assert machine.memory.read(SHARED + 64) == 0   # inner undone
+        assert machine.memory.read(SHARED + 128) == 7  # recovery committed
+
+    def test_exception_info_captured_before_rollback(self):
+        """§3: error handling needs information about the aborted
+        transaction before its state is rolled back — the exception
+        object carries it out."""
+        machine, runtime = build(1)
+
+        class Diagnostic(Exception):
+            def __init__(self, observed):
+                super().__init__("diagnostic")
+                self.observed = observed
+
+        def body(t):
+            yield t.store(SHARED, 42)
+            value = yield t.load(SHARED)   # speculative state, pre-rollback
+            raise Diagnostic(observed=value)
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except Diagnostic as diag:
+                return diag.observed
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == 42          # captured before undo
+        assert machine.memory.read(SHARED) == 0    # then rolled back
+
+    def test_machine_usable_after_exception(self):
+        machine, runtime = build(2)
+
+        def failing(t):
+            def body(t):
+                yield t.store(SHARED, 1)
+                raise ValueError("once")
+
+            try:
+                yield from runtime.atomic(t, body)
+            except ValueError:
+                pass
+
+            def good(t):
+                value = yield t.load(SHARED)
+                yield t.store(SHARED, value + 10)
+
+            yield from runtime.atomic(t, good)
+            return "recovered"
+
+        runtime.spawn(failing, cpu_id=0)
+        machine.run()
+        assert machine.results()[0] == "recovered"
+        assert machine.memory.read(SHARED) == 10
+
+    def test_exception_with_buffered_io_discards_output(self):
+        from repro.mem.layout import SharedArena
+        from repro.runtime.txio import SimFile, TxIo
+
+        machine, runtime = build(1)
+        arena = SharedArena(machine)
+        io = TxIo(runtime)
+        log = SimFile(arena, "log")
+
+        def body(t):
+            yield from io.write(t, log, [1, 2, 3])
+            raise OSError("disk on fire")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except OSError:
+                return "caught"
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "caught"
+        assert log.data == []   # buffered output evaporated

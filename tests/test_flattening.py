@@ -1,0 +1,191 @@
+"""Flattening semantics: the conventional-HTM baseline (paper §3).
+
+With ``config.flatten=True``, every nested ``xbegin`` is subsumed by the
+outermost transaction — the behaviour of the systems the paper compares
+against.  These tests pin down exactly what that means.
+"""
+
+import pytest
+
+from repro.common.params import functional_config
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+SHARED = 0x13_0000
+INNER_CELL = 0x13_1000
+
+
+def build(n_cpus=2):
+    machine = Machine(functional_config(n_cpus=n_cpus, flatten=True))
+    runtime = Runtime(machine)
+    return machine, runtime
+
+
+class TestFlattening:
+    def test_inner_commit_publishes_nothing(self):
+        machine, runtime = build(1)
+        probe = []
+
+        def inner(t):
+            yield t.store(INNER_CELL, 5)
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)   # subsumed
+            probe.append(machine.memory.read(INNER_CELL))
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert probe == [0]                        # nothing escaped early
+        assert machine.memory.read(INNER_CELL) == 5
+
+    def test_depth_stays_at_one(self):
+        machine, runtime = build(1)
+        depths = []
+
+        def inner(t):
+            depths.append((machine.htm.depth(0), t.xstatus()["level"]))
+            yield t.alu(1)
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        # hardware depth 1, architectural (virtual) level 2
+        assert depths == [(1, 2)]
+
+    def test_open_nesting_is_flattened_too(self):
+        """Conventional HTMs have no open nesting: an 'open' commit
+        publishes nothing until the outer commit."""
+        machine, runtime = build(1)
+        probe = []
+
+        def open_body(t):
+            yield t.store(INNER_CELL, 9)
+
+        def outer(t):
+            yield from runtime.atomic_open(t, open_body)
+            probe.append(machine.memory.read(INNER_CELL))
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert probe == [0]
+        assert machine.memory.read(INNER_CELL) == 9
+
+    def test_inner_conflict_restarts_whole_outer(self):
+        machine, runtime = build(2)
+        outer_runs = []
+
+        def victim(t):
+            def inner(t):
+                value = yield t.load(SHARED)
+                if len(outer_runs) == 1:
+                    yield t.alu(300)
+                return value
+
+            def outer(t):
+                outer_runs.append(1)
+                yield t.store(INNER_CELL, len(outer_runs))
+                result = yield from runtime.atomic(t, inner)
+                return result
+
+            result = yield from runtime.atomic(t, outer)
+            return result
+
+        def attacker(t):
+            yield t.alu(60)
+
+            def body(t):
+                yield t.store(SHARED, 4)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert len(outer_runs) == 2            # the WHOLE outer re-ran
+        assert machine.results()[0] == 4
+        assert machine.memory.read(INNER_CELL) == 2
+
+    def test_inner_abort_unwinds_to_outer(self):
+        """Under flattening an inner abort cannot be contained: the
+        rollback hits the one real (outer) transaction, and the abort
+        surfaces from the OUTER atomic block."""
+        from repro.common.errors import TxAborted
+
+        machine, runtime = build(1)
+        reached = []
+
+        def inner(t):
+            yield from runtime.abort(t, code="inner-gone")
+
+        def outer(t):
+            yield t.store(INNER_CELL, 1)
+            try:
+                yield from runtime.atomic(t, inner)
+            except TxAborted:
+                reached.append("caught-inside")   # must NOT happen
+            reached.append("after-inner")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, outer)
+            except TxAborted as aborted:
+                return ("outer-aborted", aborted.code)
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == ("outer-aborted", "inner-gone")
+        assert reached == []
+        assert machine.memory.read(INNER_CELL) == 0
+
+    def test_handlers_defer_to_real_commit(self):
+        machine, runtime = build(1)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def inner(t):
+            yield from runtime.register_commit_handler(t, handler, "inner")
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)
+            log.append("inner-done")
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+            log.append("outer-done")
+
+        runtime.spawn(program)
+        machine.run()
+        # the subsumed inner commit ran no handlers; the real one did
+        assert log == ["inner-done", "inner", "outer-done"]
+
+    def test_stats_expose_flattening(self):
+        machine, runtime = build(1)
+
+        def inner(t):
+            yield t.alu(1)
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.stats.total("htm.begins_flattened") == 1
+        assert machine.stats.total("htm.commits_flattened") == 1
+        assert machine.stats.total("htm.commits_closed") == 0

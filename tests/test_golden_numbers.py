@@ -1,0 +1,50 @@
+"""Golden-number regression tests.
+
+Every simulation is deterministic, so key experiment quantities can be
+pinned within a tolerance band: an accidental change to engine timing,
+conflict handling, or the runtime sequences shows up here before it
+silently warps the reproduced figures.  The bands are deliberately wide
+(±25%) so deliberate re-tuning rarely trips them; the *relationships*
+(asserted by the benchmarks) are the real contract.
+"""
+
+import pytest
+
+from repro.common.params import paper_config
+from repro.workloads import JbbWorkload, Mp3dKernel, SwimKernel
+
+#: (workload factory, config overrides, expected cycles)
+GOLDEN = [
+    ("swim seq", lambda: SwimKernel(n_threads=1), dict(n_cpus=1), 166_515),
+    ("swim nested x8", lambda: SwimKernel(n_threads=8), dict(n_cpus=8),
+     29_653),
+    ("mp3d nested x8", lambda: Mp3dKernel(n_threads=8), dict(n_cpus=8),
+     56_561),
+    ("mp3d flat x8", lambda: Mp3dKernel(n_threads=8),
+     dict(n_cpus=8, flatten=True), 133_112),
+    ("jbb-closed x8", lambda: JbbWorkload(n_threads=8), dict(n_cpus=8),
+     78_049),
+]
+
+TOLERANCE = 0.25
+
+
+@pytest.mark.parametrize("name,factory,overrides,expected",
+                         GOLDEN, ids=[g[0] for g in GOLDEN])
+def test_golden_cycles(name, factory, overrides, expected):
+    machine = factory().run(paper_config(**overrides))
+    cycles = machine.stats.get("cycles")
+    low = expected * (1 - TOLERANCE)
+    high = expected * (1 + TOLERANCE)
+    assert low <= cycles <= high, (
+        f"{name}: {cycles} cycles, golden {expected} (±25%). If this "
+        "change is intentional, refresh GOLDEN and EXPERIMENTS.md.")
+
+
+def test_determinism_of_golden_runs():
+    """The golden runs are bit-for-bit reproducible."""
+    first = Mp3dKernel(n_threads=4).run(
+        paper_config(n_cpus=4)).stats.get("cycles")
+    second = Mp3dKernel(n_threads=4).run(
+        paper_config(n_cpus=4)).stats.get("cycles")
+    assert first == second

@@ -1,0 +1,142 @@
+"""Unit tests: IsaState violation machinery, code registry, TCB layout,
+dispatch defaults."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa import tcb
+from repro.isa.codereg import CodeRegistry
+from repro.isa.state import IsaState, lowest_level_in_mask
+
+
+class TestViolationMachinery:
+    def test_post_and_pop(self):
+        isa = IsaState(0)
+        isa.post(0b01, 0x100)
+        isa.post(0b10, 0x200)
+        assert isa.has_deliverable()
+        assert isa.xvpending == 0b11
+        isa.pop_next()
+        assert isa.xvcurrent == 0b01
+        assert isa.xvaddr == 0x100
+        assert isa.xvpending == 0b10   # one still queued
+
+    def test_fifo_order(self):
+        isa = IsaState(0)
+        for i in range(3):
+            isa.post(1 << i, 0x100 * (i + 1))
+        seen = []
+        for _ in range(3):
+            isa.pop_next()
+            seen.append((isa.xvcurrent, isa.xvaddr))
+            isa.clear_current()
+        assert seen == [(1, 0x100), (2, 0x200), (4, 0x300)]
+
+    def test_clear_current_with_mask(self):
+        isa = IsaState(0)
+        isa.xvcurrent = 0b111
+        isa.clear_current(0b010)
+        assert isa.xvcurrent == 0b101
+        isa.clear_current()
+        assert isa.xvcurrent == 0
+
+    def test_clear_masks_at_and_above(self):
+        isa = IsaState(0)
+        isa.xvcurrent = 0b111      # levels 1-3
+        isa.post(0b110, 0x100)     # levels 2-3
+        isa.post(0b001, 0x200)     # level 1
+        isa.clear_masks_at_and_above(2)
+        assert isa.xvcurrent == 0b001
+        # queued record for levels >= 2 dropped; level-1 record kept
+        assert isa.xvpending == 0b001
+        isa.pop_next()
+        assert isa.xvaddr == 0x200
+
+    def test_requeue_current_masks_surviving_levels(self):
+        isa = IsaState(0)
+        isa.xvcurrent = 0b011      # levels 1 and 2 violated
+        isa.xvaddr = 0x300
+        isa.requeue_current(rollback_level=2)
+        # level 2 dies with the rollback; level 1 must be re-delivered
+        assert isa.xvcurrent == 0
+        assert isa.xvpending == 0b001
+        isa.pop_next()
+        assert (isa.xvcurrent, isa.xvaddr) == (0b001, 0x300)
+
+    def test_requeue_current_drops_fully_covered_record(self):
+        isa = IsaState(0)
+        isa.xvcurrent = 0b010
+        isa.requeue_current(rollback_level=1)
+        assert not isa.has_deliverable()
+
+    def test_lowest_level_in_mask(self):
+        assert lowest_level_in_mask(0b001) == 1
+        assert lowest_level_in_mask(0b110) == 2
+        assert lowest_level_in_mask(0b100) == 3
+        assert lowest_level_in_mask(0) == 0
+
+
+class TestCodeRegistry:
+    def test_register_and_resolve(self):
+        registry = CodeRegistry()
+
+        def fn(t):
+            yield t.alu()
+
+        code_id = registry.register(fn)
+        assert code_id >= 1
+        assert registry.get(code_id) is fn
+        assert code_id in registry
+
+    def test_idempotent_registration(self):
+        registry = CodeRegistry()
+
+        def fn(t):
+            yield t.alu()
+
+        assert registry.register(fn) == registry.register(fn)
+        assert len(registry) == 1
+
+    def test_wild_jump_rejected(self):
+        registry = CodeRegistry()
+        with pytest.raises(SimulationError):
+            registry.get(99)
+
+    def test_zero_never_assigned(self):
+        """Id 0 means 'no handler installed' and must stay unused."""
+        registry = CodeRegistry()
+
+        def fn(t):
+            yield t.alu()
+
+        assert registry.register(fn) != 0
+        assert 0 not in registry
+
+
+class TestTcbLayout:
+    def test_frames_are_fixed_length_and_disjoint(self):
+        a = tcb.frame_addr(0, 1)
+        b = tcb.frame_addr(0, 2)
+        assert b - a == tcb.FRAME_BYTES
+
+    def test_per_cpu_segments_disjoint(self):
+        assert tcb.tcb_stack_base(0) != tcb.tcb_stack_base(1)
+        assert tcb.handler_stack_base(0, "commit") \
+            != tcb.handler_stack_base(1, "commit")
+
+    def test_handler_stacks_disjoint_per_kind(self):
+        kinds = ["commit", "violation", "abort"]
+        bases = [tcb.handler_stack_base(0, kind) for kind in kinds]
+        assert len(set(bases)) == 3
+        for base in bases:
+            assert base >= tcb.tcb_stack_base(0) + tcb.TCB_STACK_BYTES
+
+    def test_field_addresses(self):
+        frame = tcb.frame_addr(2, 3)
+        assert tcb.field_addr(2, 3, tcb.CH_TOP) == frame
+        assert tcb.field_addr(2, 3, tcb.VH_TOP) == frame + 4
+        assert tcb.field_addr(2, 3, tcb.AH_TOP) == frame + 8
+
+    def test_scratch_beyond_handler_stacks(self):
+        assert tcb.scratch_base(0) >= tcb.handler_stack_base(0, "abort") \
+            + tcb.HANDLER_STACK_BYTES

@@ -1,0 +1,141 @@
+"""Linked list + the early-release traversal pattern (paper §4.7)."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.common.params import functional_config
+from repro.mem.layout import SharedArena
+from repro.mem.linkedlist import LinkedList
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+def build(n_cpus=2, nodes=64):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    lst = LinkedList(arena, capacity_nodes=nodes)
+    return machine, runtime, arena, lst
+
+
+def populate(runtime, lst, values):
+    def loader(t):
+        for value in values:
+            def body(t, value=value):
+                yield from lst.push_front(t, value)
+
+            yield from runtime.atomic(t, body)
+
+    return loader
+
+
+class TestLinkedList:
+    def test_push_and_walk(self):
+        machine, runtime, _, lst = build(1)
+        runtime.spawn(populate(runtime, lst, [1, 2, 3]), cpu_id=0)
+        machine.run()
+        assert lst.values_host(machine.memory) == [3, 2, 1]
+
+    def test_traverse_sum(self):
+        machine, runtime, _, lst = build(1)
+
+        def program(t):
+            yield from populate(runtime, lst, list(range(1, 11)))(t)
+
+            def walk(t):
+                total = yield from lst.traverse_sum(t)
+                return total
+
+            total = yield from runtime.atomic(t, walk)
+            return total
+
+        runtime.spawn(program, cpu_id=0)
+        machine.run()
+        assert machine.results()[0] == 55
+
+    def test_find_and_set(self):
+        machine, runtime, _, lst = build(1)
+
+        def program(t):
+            yield from populate(runtime, lst, [10, 20, 30])(t)
+
+            def update(t):
+                node = yield from lst.find_node(t, 20)
+                assert node
+                yield from lst.set_value(t, node, 21)
+
+            yield from runtime.atomic(t, update)
+
+        runtime.spawn(program, cpu_id=0)
+        machine.run()
+        assert lst.values_host(machine.memory) == [30, 21, 10]
+
+    def test_pool_exhaustion(self):
+        machine, runtime, _, lst = build(1, nodes=2)
+        runtime.spawn(populate(runtime, lst, [1, 2, 3]), cpu_id=0)
+        with pytest.raises(MemoryError_):
+            machine.run()
+
+
+class TestEarlyReleaseTraversal:
+    def run_scenario(self, early_release):
+        """A slow reader walks 20 nodes while a writer mutates the
+        *front* of the list (the prefix the reader passed first)."""
+        machine, runtime, _, lst = build(2)
+        attempts = []
+
+        def reader(t):
+            yield from populate(runtime, lst, list(range(1, 21)))(t)
+
+            def walk(t):
+                attempts.append(1)
+                total = 0
+                previous = None
+                node = yield t.load(lst.head_addr)
+                if early_release:
+                    yield t.release(lst.head_addr)
+                while node:
+                    value = yield t.load(node)
+                    nxt = yield t.load(node + 4)
+                    total += value
+                    yield t.alu(40)          # slow walk
+                    if early_release and previous is not None:
+                        yield t.release(previous)
+                    previous = node
+                    node = nxt
+                if early_release and previous is not None:
+                    yield t.release(previous)
+                return total
+
+            total = yield from runtime.atomic(t, walk)
+            return total
+
+        def writer(t):
+            yield t.alu(700)   # reader is mid-walk, past the front
+
+            def mutate(t):
+                # the head node holds value 20 (pushed last)
+                node = yield from lst.find_node(t, 20)
+                if node:
+                    yield from lst.set_value(t, node, 120)
+
+            yield from runtime.atomic(t, mutate)
+
+        runtime.spawn(reader, cpu_id=0)
+        runtime.spawn(writer, cpu_id=1)
+        machine.run(max_cycles=10_000_000)
+        return machine, attempts
+
+    def test_tracked_walk_is_violated_by_prefix_writer(self):
+        machine, attempts = self.run_scenario(early_release=False)
+        assert len(attempts) >= 2                  # restarted
+        # atomic walk: the retry saw the mutated value
+        assert machine.results()[0] == sum(range(1, 20)) + 120
+
+    def test_released_walk_coexists_with_prefix_writer(self):
+        machine, attempts = self.run_scenario(early_release=True)
+        assert len(attempts) == 1                  # never violated
+        # the documented price: the walk is not atomic — it summed the
+        # value that existed when it passed the front
+        assert machine.results()[0] == sum(range(1, 21))
+        assert machine.stats.total("htm.releases") >= 20

@@ -1,0 +1,189 @@
+"""Unit tests: the multi-tracking and associativity nesting schemes
+(paper Figure 4), including capacity behaviour and functional equivalence.
+"""
+
+import pytest
+
+from repro.common.errors import CapacityAbort, TxRollback
+from repro.common.params import functional_config
+from repro.common.stats import Stats
+from repro.htm.nesting import (
+    AssociativityScheme,
+    MultiTrackingScheme,
+    NestingSchemeBase,
+    make_nesting_scheme,
+)
+
+READ = NestingSchemeBase.READ
+WRITE = NestingSchemeBase.WRITE
+
+
+def tiny_config(scheme, sets=2, assoc=2):
+    """A cache with sets*assoc line slots, to force overflow in tests."""
+    line = 32
+    return functional_config(
+        nesting_scheme=scheme,
+        l2_size=sets * assoc * line,
+        l2_assoc=assoc,
+        l1_size=sets * assoc * line,
+        l1_assoc=assoc,
+    )
+
+
+@pytest.fixture(params=["multi_tracking", "associativity"])
+def scheme(request):
+    config = tiny_config(request.param, sets=4, assoc=4)
+    return make_nesting_scheme(config, Stats().scope("s"))
+
+
+class TestCommonBehaviour:
+    def test_track_and_clear(self, scheme):
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(1, 0x1020, WRITE)
+        assert scheme.footprint() == 2
+        scheme.rollback(1)
+        assert scheme.footprint() == 0
+
+    def test_closed_commit_merges(self, scheme):
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x2000, WRITE)
+        scheme.commit_closed(2)
+        # level-2 state is now level-1 state; rollback(2) clears nothing
+        scheme.rollback(2)
+        assert scheme.footprint() == 2
+        scheme.rollback(1)
+        assert scheme.footprint() == 0
+
+    def test_open_commit_clears_level_only(self, scheme):
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x2000, WRITE)
+        scheme.commit_open(2)
+        assert scheme.footprint() == 1
+        scheme.rollback(1)
+        assert scheme.footprint() == 0
+
+    def test_rollback_gang_clears_deeper_levels(self, scheme):
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x2000, READ)
+        scheme.note_access(3, 0x3000, WRITE)
+        scheme.rollback(2)
+        assert scheme.footprint() == 1
+
+    def test_same_line_same_level_idempotent(self, scheme):
+        for _ in range(5):
+            scheme.note_access(1, 0x1000, READ)
+            scheme.note_access(1, 0x1004, WRITE)  # same line
+        assert scheme.footprint() == 1
+
+
+class TestCapacityDifferences:
+    def test_multitracking_shares_line_across_levels(self):
+        """One line accessed at many levels costs one slot (Fig. 4a)."""
+        config = tiny_config("multi_tracking", sets=1, assoc=1)
+        scheme = MultiTrackingScheme(config, Stats().scope("s"))
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x1000, WRITE)
+        scheme.note_access(3, 0x1000, READ)
+        assert scheme.footprint() == 1
+
+    def test_associativity_replicates_per_level(self):
+        """The same line at k levels costs k ways (Fig. 4b)."""
+        config = tiny_config("associativity", sets=1, assoc=2)
+        scheme = AssociativityScheme(config, Stats().scope("s"))
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x1000, WRITE)   # second way
+        with pytest.raises(CapacityAbort):
+            scheme.note_access(3, 0x1000, READ)
+
+    def test_multitracking_set_overflow(self):
+        config = tiny_config("multi_tracking", sets=1, assoc=2)
+        scheme = MultiTrackingScheme(config, Stats().scope("s"))
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(1, 0x1020, READ)
+        with pytest.raises(CapacityAbort):
+            scheme.note_access(1, 0x1040, READ)
+
+    def test_associativity_set_overflow(self):
+        config = tiny_config("associativity", sets=1, assoc=2)
+        scheme = AssociativityScheme(config, Stats().scope("s"))
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(1, 0x1020, READ)
+        with pytest.raises(CapacityAbort):
+            scheme.note_access(1, 0x1040, WRITE)
+
+    def test_commit_closed_frees_associativity_ways(self):
+        config = tiny_config("associativity", sets=1, assoc=2)
+        scheme = AssociativityScheme(config, Stats().scope("s"))
+        scheme.note_access(1, 0x1000, READ)
+        scheme.note_access(2, 0x1000, READ)    # both ways used
+        scheme.commit_closed(2)                # merges into one way
+        scheme.note_access(1, 0x1020, READ)    # fits again
+
+
+class TestFunctionalEquivalence:
+    """The two schemes must produce identical *results* on the same
+    program — only capacity/occupancy may differ (paper §6.3.3)."""
+
+    @pytest.mark.parametrize("n_cpus", [2, 4])
+    def test_same_final_memory(self, n_cpus):
+        from repro.sim.engine import Machine
+        from repro.runtime.core import Runtime
+        from repro.sim import ops as O
+
+        def build(scheme):
+            machine = Machine(functional_config(
+                n_cpus=n_cpus, nesting_scheme=scheme))
+            runtime = Runtime(machine)
+            shared = 0x5_0000
+
+            def body(t):
+                value = yield t.load(shared)
+                yield t.alu(15)
+                yield t.store(shared, value + 1)
+
+            def inner(t):
+                value = yield t.load(shared + 0x100)
+                yield t.store(shared + 0x100, value + 2)
+
+            def outer(t):
+                yield from body(t)
+                yield from runtime.atomic(t, inner)
+
+            def program(t):
+                for _ in range(3):
+                    yield from runtime.atomic(t, outer)
+
+            for _ in range(n_cpus):
+                runtime.spawn(program)
+            machine.run()
+            return (machine.memory.read(shared),
+                    machine.memory.read(shared + 0x100))
+
+        assert build("multi_tracking") == build("associativity")
+
+    def test_capacity_abort_surfaces_to_program(self):
+        """A transaction too big for the hardware raises CapacityAbort
+        through the atomic wrapper (virtualization hook)."""
+        from repro.sim.engine import Machine
+        from repro.runtime.core import Runtime
+
+        config = tiny_config("associativity", sets=2, assoc=2)
+        machine = Machine(config)
+        runtime = Runtime(machine)
+        caught = []
+
+        def big(t):
+            for i in range(64):
+                yield t.store(0x6_0000 + i * 32, i)
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, big)
+            except TxRollback as rollback:
+                # the wrapper already terminated the hardware transaction
+                caught.append(rollback.reason)
+                yield t.alu(1)
+
+        runtime.spawn(program)
+        machine.run()
+        assert "capacity" in caught

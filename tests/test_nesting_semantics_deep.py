@@ -1,0 +1,264 @@
+"""Deep-dive tests on §4.5/§4.6 nesting semantics: multi-level violation
+masks, open-within-open, and the paper's deliberate departure from
+Moss/Hosking open nesting."""
+
+import pytest
+
+from repro.common.errors import TxRollback
+from repro.common.params import functional_config
+from repro.runtime.core import RESUME, Runtime
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+A = 0x1B_0000
+B = 0x1B_0100
+C = 0x1B_0200
+
+
+def build(n_cpus=2):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    return machine, runtime
+
+
+class TestMultiLevelMasks:
+    def test_conflict_hitting_both_levels_sets_both_bits(self):
+        """The victim reads one line at level 1 AND level 2; a single
+        committed write must set both mask bits, and software rolls back
+        to the outermost affected level (§4.6)."""
+        machine, runtime = build()
+        masks = []
+
+        def capture(t):
+            masks.append(t.isa.xvcurrent)
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def inner(t):
+                value = yield t.load(A)         # level-2 read of A
+                if len(rounds) == 1:
+                    yield t.alu(300)
+                return value
+
+            def body(t):
+                rounds.append(1)
+                yield t.load(A)                  # level-1 read of A
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(
+                        t, capture)
+                result = yield from runtime.atomic(t, inner)
+                return result
+
+            result = yield from runtime.atomic(t, body)
+            return (result, len(rounds))
+
+        def attacker(t):
+            yield t.alu(60)
+
+            def body(t):
+                yield t.store(A, 5)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert masks and masks[0] == 0b11      # both levels named
+        result, rounds = machine.results()[0]
+        assert rounds == 2                      # outer restarted
+        assert result == 5
+
+    def test_innermost_handler_invoked_even_for_outer_conflict(self):
+        """§4.6: "We always jump to the violation handler of the
+        innermost transaction... even if the conflict involves one of
+        its parents."  An inner-registered handler observes a conflict
+        that names only level 1."""
+        machine, runtime = build()
+        seen = []
+
+        def inner_handler(t):
+            seen.append(("inner-handler", t.isa.xvcurrent))
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def inner(t):
+                yield from runtime.register_violation_handler(
+                    t, inner_handler)
+                yield t.load(B)                 # unrelated inner read
+                if len(rounds) == 1:
+                    yield t.alu(300)            # conflict arrives here
+
+            def body(t):
+                rounds.append(1)
+                yield t.load(A)                 # the conflicting read
+                yield from runtime.atomic(t, inner)
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(60)
+
+            def body(t):
+                yield t.store(A, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        # The inner handler ran (innermost-first), for a level-1-only mask.
+        assert seen and seen[0] == ("inner-handler", 0b01)
+
+
+class TestOpenNestingDeep:
+    def test_open_within_open(self):
+        machine, runtime = build(1)
+
+        def innermost(t):
+            yield t.store(C, 3)
+
+        def middle(t):
+            yield t.store(B, 2)
+            yield from runtime.atomic_open(t, innermost)
+            # the inner open commit is already visible
+            assert machine.memory.read(C) == 3
+
+        def outer(t):
+            yield t.store(A, 1)
+            yield from runtime.atomic_open(t, middle)
+            assert machine.memory.read(B) == 2
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.memory.read(A) == 1
+
+    def test_open_commit_leaves_ancestor_sets_intact(self):
+        """The paper's anti-Moss/Hosking point (§4.5): after an open
+        child commits an overlapping line, the PARENT still holds that
+        line in its read-set — a later remote commit must still violate
+        the parent.  (Under Moss/Hosking early-release semantics the
+        parent's entry would have been removed and the violation lost.)
+        """
+        machine, runtime = build()
+        rounds = []
+
+        def victim(t):
+            def open_child(t):
+                value = yield t.load(A)          # overlaps parent's read
+                yield t.store(A, value)          # and writes it
+                return value
+
+            def body(t):
+                rounds.append(1)
+                yield t.load(A)                  # parent reads A
+                yield from runtime.atomic_open(t, open_child)
+                if len(rounds) == 1:
+                    yield t.alu(400)             # remote commit lands here
+
+            yield from runtime.atomic(t, body)
+            return len(rounds)
+
+        def attacker(t):
+            yield t.alu(100)
+
+            def body(t):
+                yield t.store(A, 9)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert machine.results()[0] == 2        # parent WAS violated
+
+    def test_open_commit_write_does_not_feed_own_parent_mask(self):
+        """§4.5: conflicts are not reported to ancestors for the open
+        child's own commit, even on overlap."""
+        machine, runtime = build(1)
+
+        def open_child(t):
+            yield t.store(A, 7)
+
+        def body(t):
+            yield t.load(A)
+            yield from runtime.atomic_open(t, open_child)
+            yield t.alu(20)
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+            return "clean"
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "clean"
+        assert machine.stats.get("cpu0.htm.violations_received") == 0
+
+    def test_closed_inside_open(self):
+        """A closed child of an open transaction merges into the open
+        one and publishes with it."""
+        machine, runtime = build(1)
+        probes = []
+
+        def closed_child(t):
+            yield t.store(B, 4)
+
+        def open_body(t):
+            yield t.store(A, 3)
+            yield from runtime.atomic(t, closed_child)
+            probes.append(machine.memory.read(B))   # not yet visible
+
+        def outer(t):
+            yield from runtime.atomic_open(t, open_body)
+            probes.append(machine.memory.read(B))   # open commit published
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert probes == [0, 4]
+
+    def test_open_child_rollback_leaves_parent_running(self):
+        """An open-nested transaction violated mid-flight retries alone;
+        the parent's speculative state survives untouched."""
+        machine, runtime = build()
+        inner_rounds = []
+
+        def victim(t):
+            def open_child(t):
+                inner_rounds.append(1)
+                value = yield t.load(B)
+                if len(inner_rounds) == 1:
+                    yield t.alu(300)
+                yield t.store(B, value + 1)
+
+            def body(t):
+                yield t.store(A, 11)             # parent speculative state
+                yield from runtime.atomic_open(t, open_child)
+                value = yield t.load(A)
+                return value
+
+            result = yield from runtime.atomic(t, body)
+            return result
+
+        def attacker(t):
+            yield t.alu(60)
+
+            def body(t):
+                yield t.store(B, 100)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert len(inner_rounds) == 2            # open child retried alone
+        assert machine.results()[0] == 11        # parent state survived
+        assert machine.memory.read(B) == 101

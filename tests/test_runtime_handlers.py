@@ -1,0 +1,536 @@
+"""Runtime tests: handler registration/dispatch, ordering, TCB stacks,
+the resume path, and the published instruction overheads."""
+
+import pytest
+
+from repro.common.errors import IsaError, TxAborted, TxRollback
+from repro.common.params import functional_config
+from repro.runtime import overheads
+from repro.runtime.core import RESUME, Runtime
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+SHARED = 0x8_0000
+OTHER = 0x8_1000
+
+
+def build(n_cpus=2, **over):
+    machine = Machine(functional_config(n_cpus=n_cpus, **over))
+    runtime = Runtime(machine)
+    return machine, runtime
+
+
+class TestCommitHandlers:
+    def test_run_in_registration_order(self):
+        machine, runtime = build(1)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def body(t):
+            yield from runtime.register_commit_handler(t, handler, "a")
+            yield from runtime.register_commit_handler(t, handler, "b")
+            yield from runtime.register_commit_handler(t, handler, "c")
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_between_validate_and_commit(self):
+        """A commit handler observes speculative state but its effects via
+        open nesting are immediately permanent."""
+        machine, runtime = build(1)
+        seen = []
+
+        def handler(t):
+            seen.append((yield t.load(SHARED)))   # speculative value
+            yield t.alu()
+
+        def body(t):
+            yield t.store(SHARED, 42)
+            yield from runtime.register_commit_handler(t, handler)
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        assert seen == [42]
+
+    def test_discarded_on_rollback(self):
+        machine, runtime = build(2)
+        ran = []
+
+        def handler(t):
+            ran.append("commit-handler")
+            yield t.alu()
+
+        def victim(t):
+            attempts = []
+
+            def body(t):
+                attempts.append(1)
+                value = yield t.load(SHARED)
+                if len(attempts) == 1:
+                    yield from runtime.register_commit_handler(t, handler)
+                    yield t.alu(300)   # lose to the attacker
+                return value
+
+            yield from runtime.atomic(t, body)
+            return len(attempts)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 5)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert machine.results()[0] == 2       # one retry
+        assert ran == []                        # first registration dropped
+
+    def test_not_run_by_closed_commit_but_by_outer(self):
+        machine, runtime = build(1)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def inner(t):
+            yield from runtime.register_commit_handler(t, handler, "inner")
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)   # closed nested
+            log.append("after-inner-commit")
+            yield from runtime.register_commit_handler(t, handler, "outer")
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        # the inner handler is deferred to the outer commit (merge, §4.6)
+        assert log == ["after-inner-commit", "inner", "outer"]
+
+    def test_open_commit_runs_own_handlers_immediately(self):
+        machine, runtime = build(1)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def open_body(t):
+            yield from runtime.register_commit_handler(t, handler, "open")
+
+        def outer(t):
+            yield from runtime.atomic_open(t, open_body)
+            log.append("after-open-commit")
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+
+        runtime.spawn(program)
+        machine.run()
+        assert log == ["open", "after-open-commit"]
+
+    def test_handler_args_travel_through_simulated_stack(self):
+        machine, runtime = build(1)
+        got = []
+
+        def handler(t, a, b, c):
+            got.append((a, b, c))
+            yield t.alu()
+
+        def body(t):
+            yield from runtime.register_commit_handler(t, handler, 1, 2, 3)
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        assert got == [(1, 2, 3)]
+
+    def test_commit_handler_registering_another(self):
+        machine, runtime = build(1)
+        log = []
+
+        def second(t):
+            log.append("second")
+            yield t.alu()
+
+        def first(t):
+            log.append("first")
+            yield from runtime.register_commit_handler(t, second)
+
+        def body(t):
+            yield from runtime.register_commit_handler(t, first)
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        assert log == ["first", "second"]
+
+
+class TestViolationHandlers:
+    def test_reverse_order_and_compensation(self):
+        machine, runtime = build(2)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(
+                        t, handler, "first-registered")
+                    yield from runtime.register_violation_handler(
+                        t, handler, "second-registered")
+                    yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert log == ["second-registered", "first-registered"]
+
+    def test_resume_ignores_violation(self):
+        """A handler returning RESUME continues the transaction (§4.3)."""
+        machine, runtime = build(2)
+
+        def ignore(t):
+            yield t.alu()
+            return RESUME
+
+        def victim(t):
+            def body(t):
+                yield from runtime.register_violation_handler(t, ignore)
+                before = yield t.load(SHARED)
+                yield t.alu(300)
+                after = yield t.load(SHARED)
+                return (before, after)
+
+            result = yield from runtime.atomic(t, body)
+            return result
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 9)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        # Never restarted: the first read keeps its pre-conflict value,
+        # while the later read sees the committed update — the mixed
+        # snapshot that makes "ignore violation" a sharp tool (§4.3).
+        assert machine.results()[0] == (0, 9)
+        assert machine.stats.get("cpu0.htm.handler_resumes") >= 1
+
+    def test_xvaddr_visible_to_handler(self):
+        machine, runtime = build(2)
+        captured = []
+
+        def handler(t):
+            captured.append(t.isa.xvaddr)
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(t, handler)
+                    yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        line = SHARED - SHARED % machine.config.line_size
+        assert captured == [line]
+
+    def test_handler_open_nesting_for_shared_state(self):
+        """A violation handler updates shared state via an open-nested
+        transaction that survives the rollback (compensation, §4.3)."""
+        machine, runtime = build(2)
+
+        def compensate(t):
+            def bump(t):
+                value = yield t.load(OTHER)
+                yield t.store(OTHER, value + 1)
+
+            yield from runtime.atomic_open(t, bump)
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(
+                        t, compensate)
+                    yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert machine.memory.read(OTHER) == 1
+
+    def test_multi_level_rollback_runs_all_levels_handlers(self):
+        """A conflict at the outer level runs the handlers of every level
+        being rolled back, innermost first (§4.6)."""
+        machine, runtime = build(2)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def inner(t):
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(
+                        t, handler, "inner-handler")
+                    yield t.alu(300)   # violated here, in the inner tx
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)   # outer-level read
+                if len(rounds) == 1:
+                    yield from runtime.register_violation_handler(
+                        t, handler, "outer-handler")
+                yield from runtime.atomic(t, inner)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(80)
+
+            def body(t):
+                yield t.store(SHARED, 1)   # hits the victim's OUTER read
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert log == ["inner-handler", "outer-handler"]
+
+
+class TestAbortHandlers:
+    def test_abort_handler_runs_then_txaborted(self):
+        machine, runtime = build(1)
+        log = []
+
+        def handler(t, tag):
+            log.append(tag)
+            yield t.alu()
+
+        def body(t):
+            yield from runtime.register_abort_handler(t, handler, "cleanup")
+            yield t.store(SHARED, 1)
+            yield from runtime.abort(t, code="bail")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except TxAborted as aborted:
+                return ("aborted", aborted.code)
+
+        runtime.spawn(program)
+        machine.run()
+        assert log == ["cleanup"]
+        assert machine.results()[0] == ("aborted", "bail")
+        assert machine.memory.read(SHARED) == 0
+
+    def test_abort_policy_restart(self):
+        machine, runtime = build(1)
+        rounds = []
+
+        def body(t):
+            rounds.append(1)
+            yield t.alu(5)
+            if len(rounds) < 3:
+                yield from runtime.abort(t, code="again")
+            return "finished"
+
+        def program(t):
+            result = yield from runtime.atomic(
+                t, body, abort_policy=lambda code: "restart")
+            return result
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == "finished"
+        assert len(rounds) == 3
+
+    def test_abort_handlers_not_run_on_violation(self):
+        """Abort handlers trigger only on xabort, not on conflicts."""
+        machine, runtime = build(2)
+        log = []
+
+        def ah(t):
+            log.append("abort-handler")
+            yield t.alu()
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)
+                if len(rounds) == 1:
+                    yield from runtime.register_abort_handler(t, ah)
+                    yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        assert log == []
+
+
+class TestOverheads:
+    """The Section 7 published instruction counts, measured live."""
+
+    def test_all_published_counts(self):
+        machine, runtime = build(1)
+        counts = {}
+
+        def noop_handler(t):
+            yield t.alu()
+
+        def program(t):
+            start = t.instructions
+            yield from runtime.begin_tx(t)
+            counts["xbegin"] = t.instructions - start
+            start = t.instructions
+            yield from runtime.commit_tx(t)
+            counts["commit"] = t.instructions - start
+            yield from runtime.begin_tx(t)
+            start = t.instructions
+            yield from runtime.register_commit_handler(t, noop_handler)
+            counts["register"] = t.instructions - start
+            start = t.instructions
+            yield from runtime.register_violation_handler(
+                t, noop_handler, "arg1", "arg2")
+            counts["register2args"] = t.instructions - start
+            yield from runtime.commit_tx(t)
+
+        runtime.spawn(program)
+        machine.run()
+        assert counts["xbegin"] == overheads.XBEGIN_INSTRUCTIONS
+        assert counts["register"] == overheads.REGISTER_HANDLER_INSTRUCTIONS
+        assert counts["register2args"] == (
+            overheads.REGISTER_HANDLER_INSTRUCTIONS
+            + 2 * overheads.REGISTER_ARG_INSTRUCTIONS)
+
+    def test_rollback_without_handlers_is_six_instructions(self):
+        machine, runtime = build(2)
+
+        def victim(t):
+            def body(t):
+                value = yield t.load(SHARED)
+                yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        dispatches = machine.stats.get("cpu0.htm.dispatches_violation")
+        handler_instr = machine.stats.get("cpu0.handler_instructions")
+        assert dispatches == 1
+        assert handler_instr == overheads.ROLLBACK_NO_HANDLER_INSTRUCTIONS
+
+    def test_register_outside_tx_rejected(self):
+        machine, runtime = build(1)
+
+        def handler(t):
+            yield t.alu()
+
+        def program(t):
+            yield from runtime.register_commit_handler(t, handler)
+
+        runtime.spawn(program)
+        with pytest.raises(IsaError):
+            machine.run()

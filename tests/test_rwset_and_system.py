@@ -1,0 +1,193 @@
+"""Unit tests: read-/write-set tracking and HtmSystem state machine."""
+
+import pytest
+
+from repro.common.errors import IsaError
+from repro.common.params import functional_config
+from repro.common.stats import Stats
+from repro.htm.rwset import RwSets
+from repro.htm.system import ACTIVE, COMMITTED, VALIDATED, HtmSystem
+from repro.memsys.memory import MemoryImage
+
+A = 0x100
+SAME_LINE = 0x104      # same 32-byte line as A
+OTHER_LINE = 0x200
+
+
+class TestRwSets:
+    def make(self, granularity="line"):
+        return RwSets(functional_config(granularity=granularity))
+
+    def test_line_units_coalesce(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.add_read(1, A)
+        sets.add_read(1, SAME_LINE)
+        assert len(sets.reads_at(1)) == 1
+
+    def test_word_units_distinct(self):
+        sets = self.make("word")
+        sets.open_level(1)
+        sets.add_read(1, A)
+        sets.add_read(1, SAME_LINE)
+        assert len(sets.reads_at(1)) == 2
+
+    def test_level_masks(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(1, A)
+        sets.add_read(2, A)
+        sets.add_write(2, OTHER_LINE)
+        unit_a = sets.unit_of(A)
+        unit_b = sets.unit_of(OTHER_LINE)
+        assert sets.levels_reading(unit_a) == 0b11
+        assert sets.levels_writing(unit_b) == 0b10
+        assert sets.levels_touching(unit_b) == 0b10
+
+    def test_merge_into_parent(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(2, A)
+        sets.add_write(2, OTHER_LINE)
+        merged = sets.merge_into_parent(2)
+        assert merged == 2
+        assert sets.unit_of(A) in sets.reads_at(1)
+        assert sets.unit_of(OTHER_LINE) in sets.writes_at(1)
+        assert sets.active_levels() == [1]
+
+    def test_discard_level(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(2, A)
+        sets.discard(2)
+        assert sets.levels_reading(sets.unit_of(A)) == 0
+
+    def test_release_only_current_level(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(1, A)
+        assert not sets.release(2, A)   # not in level 2's set
+        assert sets.release(1, A)
+        assert sets.all_reads() == set()
+
+    def test_unions(self):
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(1, A)
+        sets.add_write(2, OTHER_LINE)
+        assert sets.all_reads() == {sets.unit_of(A)}
+        assert sets.all_writes() == {sets.unit_of(OTHER_LINE)}
+
+
+class TestHtmSystemStateMachine:
+    def make(self, **over):
+        config = functional_config(n_cpus=2, **over)
+        memory = MemoryImage()
+        htm = HtmSystem(config, memory, Stats())
+        htm.attach_violation_sink(lambda violation: None)
+        return htm, memory
+
+    def test_status_transitions(self):
+        htm, _ = self.make()
+        htm.begin(0, open_=False, now=0)
+        assert htm.xstatus(0)["status"] == ACTIVE
+        assert htm.validate(0)
+        assert htm.xstatus(0)["status"] == VALIDATED
+        result = htm.commit(0)
+        assert result.kind == "outer"
+        assert htm.xstatus(0)["level"] == 0
+
+    def test_txids_monotonic(self):
+        htm, _ = self.make()
+        first = htm.begin(0, False, 0)
+        id1 = htm.xstatus(0)["txid"]
+        htm.begin(0, False, 0)
+        id2 = htm.xstatus(0)["txid"]
+        assert id2 > id1
+        assert first == 1
+
+    def test_commit_without_begin_rejected(self):
+        htm, _ = self.make()
+        with pytest.raises(IsaError):
+            htm.commit(0)
+
+    def test_rollback_to_invalid_level_rejected(self):
+        htm, _ = self.make()
+        htm.begin(0, False, 0)
+        with pytest.raises(IsaError):
+            htm.rollback_to(0, 2)
+        with pytest.raises(IsaError):
+            htm.rollback_to(0, 0)
+
+    def test_rollback_restarts_open_as_open(self):
+        htm, _ = self.make()
+        htm.begin(0, False, 0)
+        htm.begin(0, True, 0)
+        assert htm.xstatus(0)["type"] == "open"
+        htm.rollback_to(0, 2)
+        assert htm.xstatus(0)["type"] == "open"   # restart keeps openness
+        assert htm.depth(0) == 2
+
+    def test_validation_admission_blocks_conflicting(self):
+        htm, _ = self.make()
+        htm.begin(0, False, 0)
+        htm.store(0, A, 1)
+        assert htm.validate(0)
+        htm.begin(1, False, 5)
+        htm.load(1, A)                 # reads what cpu0 will publish
+        assert not htm.validate(1)     # admission denied
+        htm.commit(0)
+        assert htm.validate(1)         # free after the publisher left
+
+    def test_validation_admission_allows_disjoint(self):
+        htm, _ = self.make()
+        htm.begin(0, False, 0)
+        htm.store(0, A, 1)
+        assert htm.validate(0)
+        htm.begin(1, False, 5)
+        htm.store(1, OTHER_LINE, 2)
+        assert htm.validate(1)         # disjoint sets overlap freely
+        htm.commit(1)
+        htm.commit(0)
+
+    def test_abandon_all_clears_everything(self):
+        htm, _ = self.make()
+        htm.begin(0, False, 0)
+        htm.begin(0, True, 0)
+        htm.store(0, A, 3)
+        work = htm.abandon_all(0)
+        assert htm.depth(0) == 0
+        assert work >= 1
+        assert htm.xstatus(0)["level"] == 0
+
+    def test_serial_mode_gates_validation(self):
+        htm, _ = self.make()
+        assert htm.try_acquire_serial(0)
+        htm.begin(1, False, 0)
+        htm.store(1, A, 1)
+        assert not htm.validate(1)     # held off by serial owner
+        htm.release_serial(0)
+        assert htm.validate(1)
+        htm.commit(1)
+
+    def test_serial_mode_waits_for_validated(self):
+        htm, _ = self.make()
+        htm.begin(1, False, 0)
+        htm.store(1, A, 1)
+        assert htm.validate(1)
+        assert not htm.try_acquire_serial(0)   # drain first
+        htm.commit(1)
+        assert htm.try_acquire_serial(0)
+        with pytest.raises(IsaError):
+            htm.release_serial(1)
+        htm.release_serial(0)
+
+    def test_non_tx_store_hits_memory_directly(self):
+        htm, memory = self.make()
+        htm.store(0, A, 9)
+        assert memory.read(A) == 9

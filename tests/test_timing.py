@@ -1,0 +1,197 @@
+"""Timing-model behaviour: the costs the paper's evaluation rests on."""
+
+import pytest
+
+from repro.common.params import functional_config, paper_config
+from repro.runtime.core import Runtime
+from repro.sim import ops as O
+from repro.sim.engine import Machine
+
+BASE = 0x14_0000
+
+
+def run_program(config, program):
+    machine = Machine(config)
+    machine.add_thread(program)
+    machine.run()
+    return machine
+
+
+class TestMemoryTiming:
+    def test_cold_miss_then_l1_hits(self):
+        config = paper_config(n_cpus=1)
+
+        def program(t):
+            yield O.Load(BASE)          # cold: memory latency
+            for _ in range(10):
+                yield O.Load(BASE)      # L1 hits
+
+        machine = run_program(config, program)
+        cycles = machine.now
+        # 1 miss (>= mem_latency) + 10 hits (1 cycle each), small slack
+        assert cycles >= config.mem_latency + 10
+        assert cycles <= config.mem_latency + 10 + 30
+
+    def test_flat_model_is_uniform(self):
+        config = functional_config(n_cpus=1)
+
+        def program(t):
+            for i in range(20):
+                yield O.Load(BASE + 64 * i)
+
+        machine = run_program(config, program)
+        assert machine.now == 20
+
+    def test_sequential_walk_reuses_lines(self):
+        config = paper_config(n_cpus=1)
+
+        def walk(stride):
+            def program(t):
+                for i in range(32):
+                    yield O.Load(BASE + i * stride)
+            return program
+
+        within_line = run_program(config, walk(4)).now
+        one_per_line = run_program(config, walk(config.line_size)).now
+        assert one_per_line > 4 * within_line
+
+    def test_commit_broadcast_scales_with_write_set(self):
+        config = paper_config(n_cpus=2)
+
+        def writer(n_lines):
+            def program(t):
+                yield O.XBegin()
+                for i in range(n_lines):
+                    yield O.Store(BASE + i * config.line_size, i)
+                yield O.XValidate()
+                yield O.XCommit()
+            return program
+
+        small = run_program(config, writer(2)).now
+        # subtract the store traffic itself by measuring per-line slope
+        big = run_program(config, writer(20)).now
+        per_line = (big - small) / 18
+        # each extra line pays its miss + its share of the broadcast
+        assert per_line > config.line_transfer_cycles
+
+    def test_bus_contention_raises_latency(self):
+        config = paper_config(n_cpus=8)
+
+        def miss_storm(offset):
+            def program(t):
+                for i in range(16):
+                    yield O.Load(BASE + offset + i * 0x1000)
+            return program
+
+        solo = Machine(config)
+        solo.add_thread(miss_storm(0), cpu_id=0)
+        solo.run()
+
+        crowd = Machine(config)
+        for cpu in range(8):
+            crowd.add_thread(miss_storm(cpu * 0x100_000), cpu_id=cpu)
+        crowd.run()
+        # 8 CPUs missing simultaneously queue on the one bus
+        assert crowd.now > solo.now
+        assert crowd.stats.get("bus.wait_cycles") > 0
+
+
+class TestHtmTimingHooks:
+    def test_rollback_latency_scales_with_undo_work(self):
+        config = paper_config(n_cpus=1, versioning="undo_log",
+                              detection="eager")
+
+        def program(t):
+            from repro.common.errors import TxRollback
+
+            yield O.XBegin()
+            try:
+                for i in range(12):
+                    yield O.Store(BASE + i * 4, i)
+                yield O.XAbort()
+            except TxRollback:
+                yield O.XValidate()
+                yield O.XCommit()
+
+        machine = run_program(config, program)
+        rollback_cycles = machine.stats.get("cpu0.htm.rollback_cycles")
+        assert rollback_cycles >= 12 * config.undo_cycles_per_entry
+
+    def test_validate_arbitrates_for_publishing_commits_only(self):
+        config = paper_config(n_cpus=1)
+
+        def program(t):
+            yield O.XBegin()
+            yield O.Store(BASE, 1)
+            yield O.XBegin()            # closed child
+            yield O.Store(BASE + 64, 2)
+            yield O.XValidate()         # no-op for closed nesting
+            yield O.XCommit()
+            yield O.XValidate()         # real arbitration
+            yield O.XCommit()
+
+        machine = run_program(config, program)
+        # one bus arbitration pair for validate+broadcast, not two
+        assert machine.stats.get("bus.transactions") >= 1
+
+    def test_syscall_cycles_configurable(self):
+        from repro.mem.layout import SharedArena
+        from repro.runtime.txio import SimFile, TxIo
+
+        def run_with(syscall_cycles):
+            machine = Machine(paper_config(
+                n_cpus=1, syscall_cycles=syscall_cycles))
+            runtime = Runtime(machine)
+            arena = SharedArena(machine)
+            io = TxIo(runtime)
+            log = SimFile(arena, "log")
+
+            def body(t):
+                yield from io.write(t, log, [1])
+
+            def program(t):
+                yield from runtime.atomic(t, body)
+
+            runtime.spawn(program)
+            machine.run()
+            return machine.now
+
+        assert run_with(2000) >= run_with(100) + 1800
+
+
+class TestDeterminismAcrossConfigs:
+    @pytest.mark.parametrize("overrides", [
+        dict(),
+        dict(detection="eager"),
+        dict(detection="eager", versioning="undo_log"),
+        dict(nesting_scheme="multi_tracking"),
+        dict(granularity="word"),
+        dict(flatten=True),
+    ])
+    def test_bitwise_reproducible(self, overrides):
+        def once():
+            machine = Machine(paper_config(n_cpus=4, **overrides))
+            runtime = Runtime(machine)
+
+            def program(t):
+                for _ in range(3):
+                    def body(t):
+                        value = yield t.load(BASE)
+                        yield t.alu(17)
+                        yield t.store(BASE, value + 1)
+
+                    def inner(t):
+                        yield t.store(BASE + 0x100, 1)
+
+                    def outer(t):
+                        yield from body(t)
+                        yield from runtime.atomic(t, inner)
+
+                    yield from runtime.atomic(t, outer)
+
+            for cpu in range(4):
+                runtime.spawn(program, cpu_id=cpu)
+            machine.run()
+            return machine.now, machine.memory.read(BASE)
+
+        assert once() == once()

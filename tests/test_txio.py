@@ -1,0 +1,257 @@
+"""Transactional I/O library tests (paper Sections 5 and 7.2)."""
+
+import pytest
+
+from repro.common.errors import TxAborted
+from repro.common.params import functional_config
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.runtime.txio import SimFile, TxIo
+from repro.sim.engine import Machine
+
+SHARED = 0x9_0000
+
+
+def build(n_cpus=2):
+    machine = Machine(functional_config(n_cpus=n_cpus))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    io = TxIo(runtime)
+    return machine, runtime, arena, io
+
+
+class TestOutput:
+    def test_write_deferred_to_commit(self):
+        machine, runtime, arena, io = build(1)
+        log = SimFile(arena, "log")
+        probe = []
+
+        def body(t):
+            yield from io.write(t, log, [1, 2])
+            probe.append(list(log.data))   # still buffered
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+            probe.append(list(log.data))   # flushed at commit
+
+        runtime.spawn(program)
+        machine.run()
+        assert probe == [[], [1, 2]]
+        assert machine.memory.read(log.size_addr) == 2
+
+    def test_multiple_writes_one_flush(self):
+        machine, runtime, arena, io = build(1)
+        log = SimFile(arena, "log")
+
+        def body(t):
+            yield from io.write(t, log, [1])
+            yield from io.write(t, log, [2, 3])
+
+        def program(t):
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(program)
+        machine.run()
+        assert log.data == [1, 2, 3]
+        assert machine.stats.total("txio.flushes") == 1
+
+    def test_rollback_discards_buffer(self):
+        machine, runtime, arena, io = build(2)
+        log = SimFile(arena, "log")
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                value = yield t.load(SHARED)
+                yield from io.write(t, log, [100 + len(rounds)])
+                if len(rounds) == 1:
+                    yield t.alu(300)
+                return value
+
+            yield from runtime.atomic(t, body)
+
+        def attacker(t):
+            yield t.alu(50)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        # only the successful (second) attempt's record reached the file
+        assert log.data == [102]
+
+    def test_abort_discards_buffer(self):
+        machine, runtime, arena, io = build(1)
+        log = SimFile(arena, "log")
+
+        def body(t):
+            yield from io.write(t, log, [7])
+            yield from runtime.abort(t, code="no")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except TxAborted:
+                return "aborted"
+
+        runtime.spawn(program)
+        machine.run()
+        assert log.data == []
+        assert machine.results()[0] == "aborted"
+
+    def test_write_outside_transaction_immediate(self):
+        machine, runtime, arena, io = build(1)
+        log = SimFile(arena, "log")
+
+        def program(t):
+            yield from io.write(t, log, [5])
+            return list(log.data)
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == [5]
+
+    def test_nested_write_flushes_at_outer_commit(self):
+        machine, runtime, arena, io = build(1)
+        log = SimFile(arena, "log")
+        probe = []
+
+        def inner(t):
+            yield from io.write(t, log, [1])
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)
+            probe.append(list(log.data))     # inner committed: still buffered
+
+        def program(t):
+            yield from runtime.atomic(t, outer)
+            probe.append(list(log.data))
+
+        runtime.spawn(program)
+        machine.run()
+        assert probe == [[], [1]]
+
+    def test_interleaved_writers_no_loss(self):
+        machine, runtime, arena, io = build(4)
+        log = SimFile(arena, "log")
+
+        def writer(t, tag):
+            for i in range(4):
+                def body(t, i=i):
+                    value = yield t.load(SHARED)
+                    yield t.alu(25)
+                    yield t.store(SHARED, value + 1)
+                    yield from io.write(t, log, [tag * 10 + i])
+                yield from runtime.atomic(t, body)
+
+        for tag in range(4):
+            runtime.spawn(writer, tag, cpu_id=tag)
+        machine.run()
+        expected = sorted(tag * 10 + i for tag in range(4) for i in range(4))
+        assert sorted(log.data) == expected
+        assert machine.memory.read(SHARED) == 16
+
+
+class TestInput:
+    def test_sequential_reads_advance_position(self):
+        machine, runtime, arena, io = build(1)
+        source = SimFile(arena, "in", initial=list(range(10)))
+
+        def program(t):
+            got = []
+            for _ in range(3):
+                def body(t):
+                    items = yield from io.read(t, source, 2)
+                    return items
+                got.extend((yield from runtime.atomic(t, body)))
+            return got
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == [0, 1, 2, 3, 4, 5]
+        assert machine.memory.read(source.pos_addr) == 6
+
+    def test_violation_compensates_position(self):
+        """A violated transaction's early read is undone: the file
+        position is restored so no input is lost (paper §5)."""
+        machine, runtime, arena, io = build(2)
+        source = SimFile(arena, "in", initial=list(range(10)))
+
+        def victim(t):
+            rounds = []
+
+            def body(t):
+                rounds.append(1)
+                items = yield from io.read(t, source, 2)
+                value = yield t.load(SHARED)
+                if len(rounds) == 1:
+                    yield t.alu(800)
+                return items
+
+            items = yield from runtime.atomic(t, body)
+            return items
+
+        def attacker(t):
+            yield t.alu(400)
+
+            def body(t):
+                yield t.store(SHARED, 1)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(victim, cpu_id=0)
+        runtime.spawn(attacker, cpu_id=1)
+        machine.run()
+        # the retry re-read the same records: nothing skipped
+        assert machine.results()[0] == [0, 1]
+        assert machine.memory.read(source.pos_addr) == 2
+        assert machine.stats.total("txio.compensations") >= 1
+
+    def test_abort_compensates_position(self):
+        machine, runtime, arena, io = build(1)
+        source = SimFile(arena, "in", initial=list(range(10)))
+
+        def body(t):
+            yield from io.read(t, source, 3)
+            yield from runtime.abort(t, code="nah")
+
+        def program(t):
+            try:
+                yield from runtime.atomic(t, body)
+            except TxAborted:
+                pass
+            return (yield t.imld(source.pos_addr))
+
+        runtime.spawn(program)
+        machine.run()
+        assert machine.results()[0] == 0
+
+    def test_two_readers_partition_stream(self):
+        """Closed-mode reads: concurrent consumers of one stream get
+        exactly-once delivery (the position is user-transaction state)."""
+        machine, runtime, arena, io = build(2)
+        source = SimFile(arena, "in", initial=list(range(12)))
+
+        def reader(t):
+            got = []
+            for _ in range(3):
+                def body(t):
+                    items = yield from io.read(t, source, 2,
+                                               open_nested=False)
+                    yield t.alu(30)
+                    return items
+                got.extend((yield from runtime.atomic(t, body)))
+            return got
+
+        runtime.spawn(reader, cpu_id=0)
+        runtime.spawn(reader, cpu_id=1)
+        machine.run()
+        results = machine.results()
+        combined = sorted(results[0] + results[1])
+        assert combined == list(range(12))   # exactly-once delivery

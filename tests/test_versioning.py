@@ -1,0 +1,242 @@
+"""Unit tests: write-buffer and undo-log version management."""
+
+import pytest
+
+from repro.common.params import functional_config
+from repro.common.stats import Stats
+from repro.htm.versioning import (
+    UndoLogVersioning,
+    WriteBufferVersioning,
+    make_version_manager,
+)
+from repro.memsys.memory import MemoryImage
+
+A = 0x100
+B = 0x200
+C = 0x300
+
+
+@pytest.fixture(params=["write_buffer", "undo_log"])
+def vm(request):
+    config = functional_config()
+    memory = MemoryImage()
+    cls = (WriteBufferVersioning if request.param == "write_buffer"
+           else UndoLogVersioning)
+    manager = cls(config, memory, Stats().scope("v"))
+    manager.memory = memory
+    return manager
+
+
+class TestCommonSemantics:
+    """Both schemes must agree on everything visible to software."""
+
+    def test_load_sees_own_store(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 5)
+        assert vm.tx_load(1, A) == 5
+
+    def test_rollback_restores(self, vm):
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.tx_store(1, A, 2)
+        vm.rollback(1)
+        assert vm.memory.read(A) == 1
+
+    def test_outer_commit_publishes(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 9)
+        written = vm.commit_to_memory(1)
+        assert vm.memory.read(A) == 9
+        assert A in written
+
+    def test_closed_commit_then_outer(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 1)
+        vm.begin_level(2)
+        vm.tx_store(2, B, 2)
+        assert vm.tx_load(2, A) == 1      # child sees ancestor state
+        vm.commit_closed(2)
+        assert vm.tx_load(1, B) == 2      # parent inherits child state
+        vm.commit_to_memory(1)
+        assert vm.memory.read(A) == 1
+        assert vm.memory.read(B) == 2
+
+    def test_closed_commit_then_parent_rollback(self, vm):
+        vm.memory.write(B, 100)
+        vm.begin_level(1)
+        vm.begin_level(2)
+        vm.tx_store(2, B, 200)
+        vm.commit_closed(2)
+        vm.rollback(1)
+        assert vm.memory.read(B) == 100
+
+    def test_nested_rollback_keeps_parent(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 1)
+        vm.begin_level(2)
+        vm.tx_store(2, A, 2)
+        vm.tx_store(2, B, 3)
+        vm.rollback(2)
+        assert vm.tx_load(1, A) == 1
+        vm.commit_to_memory(1)
+        assert vm.memory.read(A) == 1
+        assert vm.memory.read(B) == 0
+
+    def test_open_commit_publishes_under_active_parent(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 1)
+        vm.begin_level(2)
+        vm.tx_store(2, B, 2)
+        vm.commit_to_memory(2)
+        assert vm.memory.read(B) == 2     # visible now
+        if isinstance(vm, WriteBufferVersioning):
+            # A write-buffer keeps the parent's store private; an
+            # undo-log writes in place (isolation is the eager conflict
+            # detector's job, not the version manager's).
+            assert vm.memory.read(A) == 0
+        vm.rollback(1)
+        assert vm.memory.read(A) == 0     # parent rolled back either way
+        assert vm.memory.read(B) == 2     # open commit survives
+
+    def test_open_commit_overwrite_parent_write(self, vm):
+        """Paper §6.3: the parent's version (and undo record) must be
+        updated so a later parent rollback does not resurrect a
+        pre-open-commit value."""
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.tx_store(1, A, 10)
+        vm.begin_level(2)
+        vm.tx_store(2, A, 20)
+        vm.commit_to_memory(2)            # open commit: A = 20 permanent
+        assert vm.tx_load(1, A) == 20     # parent updated
+        vm.rollback(1)
+        assert vm.memory.read(A) == 20    # not 1, not 10
+
+    def test_open_commit_overwrite_then_parent_commit(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 10)
+        vm.begin_level(2)
+        vm.tx_store(2, A, 20)
+        vm.commit_to_memory(2)
+        vm.tx_store(1, A, 30)             # parent overwrites again
+        vm.commit_to_memory(1)
+        assert vm.memory.read(A) == 30
+
+    def test_grandparent_rollback_after_open_commit(self, vm):
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.tx_store(1, A, 2)
+        vm.begin_level(2)
+        vm.tx_store(2, A, 3)
+        vm.begin_level(3)
+        vm.tx_store(3, A, 4)
+        vm.commit_to_memory(3)            # open commit at level 3
+        vm.rollback(1)                    # both ancestors roll back
+        assert vm.memory.read(A) == 4
+
+    def test_written_words(self, vm):
+        vm.begin_level(1)
+        vm.tx_store(1, A, 1)
+        vm.tx_store(1, B, 2)
+        assert vm.written_words(1) == {A, B}
+
+
+class TestImmediateStores:
+    def test_imst_rollback_filo(self, vm):
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.im_store(1, A, 2)
+        vm.im_store(1, B, 3)
+        vm.rollback(1)
+        assert vm.memory.read(A) == 1
+        assert vm.memory.read(B) == 0
+
+    def test_imstid_no_undo(self, vm):
+        vm.begin_level(1)
+        vm.im_store_id(A, 7)
+        vm.rollback(1)
+        assert vm.memory.read(A) == 7
+
+    def test_imst_one_undo_per_word_per_level(self, vm):
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.im_store(1, A, 2)
+        vm.im_store(1, A, 3)              # second store, same word
+        vm.rollback(1)
+        assert vm.memory.read(A) == 1     # restores the oldest value
+
+    def test_imst_nested_merge(self, vm):
+        vm.memory.write(A, 1)
+        vm.begin_level(1)
+        vm.begin_level(2)
+        vm.im_store(2, A, 2)
+        vm.commit_closed(2)
+        vm.rollback(1)                    # parent rollback undoes child imst
+        assert vm.memory.read(A) == 1
+
+    def test_imst_open_publish(self, vm):
+        vm.begin_level(1)
+        vm.begin_level(2)
+        vm.im_store(2, A, 2)
+        vm.commit_to_memory(2)            # open commit: imst permanent
+        vm.rollback(1)
+        assert vm.memory.read(A) == 2
+
+    def test_im_load_reads_memory(self, vm):
+        vm.memory.write(A, 4)
+        assert vm.im_load(A) == 4
+
+
+class TestUndoLogSpecific:
+    def make(self):
+        config = functional_config(versioning="undo_log", detection="eager")
+        memory = MemoryImage()
+        manager = UndoLogVersioning(config, memory, Stats().scope("v"))
+        return manager, memory
+
+    def test_stores_hit_memory_in_place(self):
+        manager, memory = self.make()
+        manager.begin_level(1)
+        manager.tx_store(1, A, 5)
+        assert memory.read(A) == 5        # in place, pre-commit
+
+    def test_log_length_bounded_by_distinct_words(self):
+        manager, memory = self.make()
+        manager.begin_level(1)
+        for value in range(10):
+            manager.tx_store(1, A, value)
+        assert manager.log_length == 1
+
+    def test_filo_restore_order_across_merge(self):
+        manager, memory = self.make()
+        memory.write(A, 1)
+        manager.begin_level(1)
+        manager.tx_store(1, A, 2)
+        manager.begin_level(2)
+        manager.tx_store(2, A, 3)
+        manager.commit_closed(2)
+        manager.rollback(1)
+        assert memory.read(A) == 1        # oldest value wins
+
+    def test_ancestor_fixup_search_counted(self):
+        manager, memory = self.make()
+        stats_before = manager._stats.get("undolog.ancestor_fixups")
+        manager.begin_level(1)
+        manager.tx_store(1, A, 10)
+        manager.begin_level(2)
+        manager.tx_store(2, A, 20)
+        manager.commit_to_memory(2)
+        assert manager._stats.get("undolog.ancestor_fixups") \
+            == stats_before + 1
+
+
+class TestFactory:
+    def test_factory_picks_scheme(self):
+        memory = MemoryImage()
+        stats = Stats().scope("v")
+        wb = make_version_manager(functional_config(), memory, stats)
+        assert isinstance(wb, WriteBufferVersioning)
+        ul = make_version_manager(
+            functional_config(versioning="undo_log", detection="eager"),
+            memory, stats)
+        assert isinstance(ul, UndoLogVersioning)

@@ -1,0 +1,161 @@
+"""Unit tests for workload construction: determinism, work division,
+scaling, and the invariant checkers themselves."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.params import functional_config, paper_config
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.workloads import (
+    IoLogWorkload,
+    JbbWorkload,
+    Mp3dKernel,
+    SwimKernel,
+)
+from repro.workloads.kernels import ReductionKernel
+
+
+def setup_only(workload, config):
+    """Build the machine and run setup without simulating."""
+    machine = Machine(config)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    workload.setup(machine, runtime, arena)
+    return machine, workload
+
+
+class TestKernelConstruction:
+    def test_work_division_covers_total(self):
+        workload = SwimKernel(n_threads=3)
+        setup_only(workload, paper_config(n_cpus=3))
+        assert sum(len(plan) for plan in workload._plans) \
+            == workload._total_outer
+
+    def test_scale_changes_total(self):
+        full = SwimKernel(n_threads=2)
+        setup_only(full, paper_config(n_cpus=2))
+        half = SwimKernel(n_threads=2, scale=0.5)
+        setup_only(half, paper_config(n_cpus=2))
+        assert half._total_outer == full._total_outer // 2
+
+    def test_plans_deterministic_per_seed(self):
+        first = Mp3dKernel(n_threads=4, seed=9)
+        setup_only(first, paper_config(n_cpus=4))
+        second = Mp3dKernel(n_threads=4, seed=9)
+        setup_only(second, paper_config(n_cpus=4))
+        assert first._plans == second._plans
+        third = Mp3dKernel(n_threads=4, seed=10)
+        setup_only(third, paper_config(n_cpus=4))
+        assert first._plans != third._plans
+
+    def test_collision_cells_within_pool(self):
+        workload = Mp3dKernel(n_threads=4)
+        setup_only(workload, paper_config(n_cpus=4))
+        for plan in workload._plans:
+            for step in plan:
+                assert all(0 <= c < workload.n_cells
+                           for c in step["cells"])
+
+    def test_grid_slices_line_disjoint(self):
+        workload = SwimKernel(n_threads=4)
+        machine, _ = setup_only(workload, paper_config(n_cpus=4))
+        line = machine.config.line_size
+        spans = []
+        for grid in workload.grid:
+            start = grid.base - grid.base % line
+            end = grid.addr(grid.length - 1) // line * line
+            spans.append((start, end))
+        for i, (s1, e1) in enumerate(spans):
+            for s2, e2 in spans[i + 1:]:
+                assert e1 < s2 or e2 < s1   # no shared line
+
+    def test_too_few_cpus_rejected(self):
+        with pytest.raises(ReproError):
+            SwimKernel(n_threads=8).run(paper_config(n_cpus=4))
+
+    def test_verify_catches_corruption(self):
+        workload = SwimKernel(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(n_cpus=2))
+        # sabotage a reduction cell; the checker must notice
+        machine.memory.write(workload.reductions.addr(0), 999)
+        with pytest.raises(ReproError):
+            workload.verify(machine)
+
+    def test_collision_checker_catches_corruption(self):
+        workload = Mp3dKernel(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(n_cpus=2))
+        machine.memory.write(workload.cells.addr(0), 10_000)
+        with pytest.raises(ReproError):
+            workload.verify(machine)
+
+
+class TestJbbConstruction:
+    def test_prepopulation(self):
+        workload = JbbWorkload(n_threads=2)
+        machine, _ = setup_only(workload, paper_config(n_cpus=2))
+        customers = workload.customers.items_host(machine.memory)
+        stock = workload.stock.items_host(machine.memory)
+        assert len(customers) == workload.N_CUSTOMERS
+        assert all(v == 1000 for _, v in customers)
+        assert len(stock) == workload.N_ITEMS
+
+    def test_op_mix_roughly_matches(self):
+        workload = JbbWorkload(n_threads=4, scale=4.0)   # 384 ops
+        setup_only(workload, paper_config(n_cpus=4))
+        ops = [plan["op"] for plans in workload._plans for plan in plans]
+        new_orders = ops.count("new_order") / len(ops)
+        assert 0.4 < new_orders < 0.6
+
+    def test_expected_totals_consistent(self):
+        workload = JbbWorkload(n_threads=2, scale=0.5)
+        setup_only(workload, paper_config(n_cpus=2))
+        planned = sum(1 for plans in workload._plans for plan in plans
+                      if plan["op"] == "new_order")
+        assert planned == workload._expected_orders
+
+    def test_balance_checker_catches_corruption(self):
+        workload = JbbWorkload(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(n_cpus=2))
+        row = workload.customers.items_host(machine.memory)[0]
+        # sabotage one balance via a host write into the tree
+        from repro.mem.hostexec import host
+
+        host(workload.customers.insert, machine.memory, row[0],
+             row[1] + 1)
+        with pytest.raises(ReproError):
+            workload.verify(machine)
+
+
+class TestIoLogConstruction:
+    def test_records_scale(self):
+        full = IoLogWorkload(n_threads=2)
+        half = IoLogWorkload(n_threads=2, scale=0.5)
+        setup_only(full, paper_config(n_cpus=2))
+        setup_only(half, paper_config(n_cpus=2))
+        assert half._records == full._records // 2
+
+    def test_log_checker_catches_duplicates(self):
+        workload = IoLogWorkload(n_threads=2, scale=0.5)
+        machine = workload.run(paper_config(n_cpus=2))
+        workload.log.data.append(workload.log.data[0])   # sabotage
+        with pytest.raises(ReproError):
+            workload.verify(machine)
+
+
+class TestKernelBaseClass:
+    def test_custom_kernel_subclass(self):
+        class Tiny(ReductionKernel):
+            name = "tiny"
+            outer_work = 4
+            work_alu = 2
+            n_reductions = 1
+            n_collisions = 0
+            total_outer = 4
+            jitter = 1
+
+        workload = Tiny(n_threads=2)
+        machine = workload.run(functional_config(n_cpus=2))
+        assert machine.memory.read(workload.reductions.addr(0)) == 4
+        assert machine.stats.total("htm.commits_outer") >= 4

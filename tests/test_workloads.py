@@ -1,0 +1,152 @@
+"""Workload-level integration tests (small scales for speed)."""
+
+import pytest
+
+from repro.common.params import functional_config, paper_config
+from repro.workloads import (
+    CondSyncWorkload,
+    IoLogWorkload,
+    JbbWorkload,
+    Mp3dKernel,
+    SwimKernel,
+)
+from repro.workloads.kernels import SCIENTIFIC_KERNELS
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", SCIENTIFIC_KERNELS,
+                             ids=[k.name for k in SCIENTIFIC_KERNELS])
+    def test_kernel_invariants_nested(self, kernel_cls):
+        workload = kernel_cls(n_threads=4, scale=0.5)
+        machine = workload.run(paper_config(n_cpus=4))
+        assert machine.stats.get("cycles") > 0
+
+    @pytest.mark.parametrize("kernel_cls", [SwimKernel, Mp3dKernel])
+    def test_kernel_invariants_flattened(self, kernel_cls):
+        workload = kernel_cls(n_threads=4, scale=0.5)
+        workload.run(paper_config(n_cpus=4, flatten=True))
+
+    def test_kernel_sequential(self):
+        SwimKernel(n_threads=1, scale=0.5).run(paper_config(n_cpus=1))
+
+    def test_kernel_deterministic(self):
+        def once():
+            workload = Mp3dKernel(n_threads=4, scale=0.5)
+            machine = workload.run(paper_config(n_cpus=4))
+            return machine.stats.get("cycles")
+
+        assert once() == once()
+
+    def test_flattening_never_nests(self):
+        workload = Mp3dKernel(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(n_cpus=2, flatten=True))
+        assert machine.stats.total("htm.begins_flattened") > 0
+        assert machine.stats.total("htm.commits_closed") == 0
+
+    def test_nested_version_actually_nests(self):
+        workload = Mp3dKernel(n_threads=2, scale=0.25)
+        machine = workload.run(paper_config(n_cpus=2))
+        assert machine.stats.total("htm.commits_closed") > 0
+
+    def test_functional_config_also_works(self):
+        SwimKernel(n_threads=2, scale=0.25).run(functional_config(n_cpus=2))
+
+
+class TestJbb:
+    @pytest.mark.parametrize("variant", ["closed", "open"])
+    def test_invariants(self, variant):
+        workload = JbbWorkload(n_threads=4, scale=0.5, variant=variant)
+        workload.run(paper_config(n_cpus=4))
+
+    def test_flattened_baseline(self):
+        workload = JbbWorkload(n_threads=4, scale=0.5)
+        workload.run(paper_config(n_cpus=4, flatten=True))
+
+    def test_open_variant_uses_open_nesting(self):
+        workload = JbbWorkload(n_threads=2, scale=0.5, variant="open")
+        machine = workload.run(paper_config(n_cpus=2))
+        assert machine.stats.total("htm.begins_open") > 0
+
+    def test_closed_variant_counter_is_exact(self):
+        workload = JbbWorkload(n_threads=4, scale=0.5, variant="closed")
+        machine = workload.run(paper_config(n_cpus=4))
+        counter = machine.memory.read(workload.order_id_addr)
+        assert counter == workload._expected_orders + 1
+
+    def test_open_variant_may_burn_ids_but_orders_match(self):
+        workload = JbbWorkload(n_threads=4, scale=0.5, variant="open")
+        machine = workload.run(paper_config(n_cpus=4))
+        counter = machine.memory.read(workload.order_id_addr)
+        assert counter >= workload._expected_orders + 1
+        orders = workload.orders.items_host(machine.memory)
+        assert len(orders) == workload._expected_orders
+
+    def test_bad_variant_rejected(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            JbbWorkload(n_threads=2, variant="psychic")
+
+
+class TestMicrobenchWorkloads:
+    def test_iolog(self):
+        workload = IoLogWorkload(n_threads=4, scale=0.5)
+        workload.run(paper_config(n_cpus=4))
+
+    def test_condsync(self):
+        workload = CondSyncWorkload(n_pairs=2, scale=0.5)
+        workload.run(paper_config(n_cpus=5), max_cycles=30_000_000)
+
+    def test_condsync_needs_scheduler_cpu(self):
+        from repro.common.errors import ReproError
+
+        workload = CondSyncWorkload(n_pairs=2)
+        with pytest.raises(ReproError):
+            workload.run(paper_config(n_cpus=4))  # needs 5
+
+
+class TestHarness:
+    def test_compare_nesting_protocol(self):
+        from repro.harness import compare_nesting
+
+        comparison = compare_nesting(
+            lambda n: SwimKernel(n_threads=n, scale=0.25), n_cpus=4)
+        assert comparison.seq_cycles > 0
+        assert comparison.flat_cycles > 0
+        assert comparison.nested_cycles > 0
+        assert comparison.improvement == pytest.approx(
+            comparison.flat_cycles / comparison.nested_cycles)
+
+    def test_scaling_curve_protocol(self):
+        from repro.harness import scaling_curve
+
+        points = scaling_curve(
+            lambda n: IoLogWorkload(n_threads=n, scale=0.5),
+            counts=[1, 2],
+            config_factory=lambda n: paper_config(n_cpus=n),
+            items_of=lambda w: w.n_threads * w._records,
+        )
+        assert [p.n for p in points] == [1, 2]
+        assert all(p.throughput > 0 for p in points)
+
+    def test_report_formatting(self):
+        from repro.harness import (
+            format_bar_chart,
+            format_figure5,
+            format_scaling,
+            format_table,
+        )
+        from repro.harness.experiment import NestingComparison, ScalingPoint
+
+        table = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in table and "3" in table
+        figure = format_figure5([
+            NestingComparison("x", 100, 50, 25),
+        ])
+        assert "2.00x" in figure and "4.00" in figure
+        scaling = format_scaling(
+            [ScalingPoint(1, 100, 10), ScalingPoint(2, 100, 20)],
+            title="S")
+        assert "2.00x" in scaling
+        chart = format_bar_chart([("a", 1.0), ("b", 2.0)], title="C")
+        assert chart.count("#") > 0
