@@ -1,0 +1,233 @@
+"""Schedule-exploration fuzzing: sweep seeds × configs × policies.
+
+The driver runs the adversarial programs (:mod:`repro.check.programs`)
+on small machines spanning the paper's design space — lazy/eager
+detection, write-buffer/undo-log versioning, multi-tracking/associativity
+nesting, functional and timing (simple and MSI) memory models — under the
+schedule policies of :mod:`repro.sim.schedule`, and checks every run with
+the oracles of :mod:`repro.check.oracles`.
+
+Every case is a pure function of its ``(program, config, policy, seed)``
+quadruple — the engine is deterministic given the policy's seed — so a
+failure is *replayable* by re-running the same quadruple (exposed on the
+CLI as ``python -m repro check --replay prog:config:policy:seed``).  For
+PCT (``pct``) failures, :func:`shrink_change_points` greedily minimises
+the set of priority change-points needed to reproduce the failure, which
+usually pins the bug to one or two scheduling decisions.
+
+Fault injection: ``fault="drop-requeue"`` disables the §6b.2
+violation-record re-queue on every CPU (the :class:`~repro.isa.state
+.IsaState.requeue_enabled` test hook), re-introducing the lost-wakeup bug
+the design fixed.  The ``requeue`` and ``condsync`` programs catch it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ReproError
+from repro.common.params import (
+    EAGER,
+    MULTI_TRACKING,
+    UNDO_LOG,
+    functional_config,
+)
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.sim.schedule import PriorityPolicy, make_policy
+
+from repro.check.history import HistoryRecorder
+from repro.check.oracles import (
+    OracleViolation,
+    check_lost_wakeups,
+    check_serializability,
+)
+from repro.check.programs import PROGRAMS, make_program
+
+#: The configuration matrix, named so failures replay by name.
+CONFIGS = {
+    "lazy-wb-assoc": {},
+    "lazy-wb-mt": {"nesting_scheme": MULTI_TRACKING},
+    "eager-wb": {"detection": EAGER},
+    "eager-undo": {"detection": EAGER, "versioning": UNDO_LOG},
+    "lazy-timing-simple": {"timing": True},
+    "lazy-timing-msi": {"timing": True, "coherence": "msi"},
+}
+
+#: Configs cheap enough for every (program, policy, seed) product; the
+#: timing models cost ~10x per case and are swept at reduced depth.
+FAST_CONFIGS = ("lazy-wb-assoc", "lazy-wb-mt", "eager-wb", "eager-undo")
+
+POLICIES = ("det", "random", "pct")
+
+FAULTS = ("drop-requeue",)
+
+
+@dataclasses.dataclass
+class CaseResult:
+    """Outcome of one fuzz case."""
+
+    program: str
+    config: str
+    policy: str
+    seed: int
+    skipped: bool = False
+    violations: list = dataclasses.field(default_factory=list)
+    n_committed: int = 0
+    commit_cpus: tuple = ()      # committing CPU per commit, in order
+    error: str = None
+    fired_points: list = None    # pct: (step, demoted cpu) pairs that fired
+
+    @property
+    def failed(self):
+        return bool(self.violations)
+
+    @property
+    def triple(self):
+        """The replayable name of this case."""
+        return f"{self.program}:{self.config}:{self.policy}:{self.seed}"
+
+    def __str__(self):
+        if self.skipped:
+            return f"{self.triple}: skipped (scenario needs another config)"
+        if not self.failed:
+            return f"{self.triple}: ok ({self.n_committed} commits)"
+        lines = [f"{self.triple}: FAILED"]
+        lines += [f"  {violation}" for violation in self.violations]
+        if self.fired_points:
+            lines.append(f"  pct change-points fired: {self.fired_points}")
+        return "\n".join(lines)
+
+
+def build_config(config_name, program):
+    overrides = dict(CONFIGS[config_name])
+    n_cpus = max(4, program.min_cpus())
+    return functional_config(n_cpus=n_cpus, **overrides)
+
+
+def run_case(program_name, config_name, policy_name, seed,
+             fault=None, change_points=None):
+    """Run one case and return its :class:`CaseResult`.
+
+    Deterministic in its arguments: the seed fixes both the program's
+    internal randomness and the schedule policy's.
+    """
+    if fault is not None and fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    if not program.supports(config):
+        return CaseResult(program_name, config_name, policy_name, seed,
+                          skipped=True)
+    policy_kwargs = {}
+    if change_points is not None:
+        policy_kwargs["change_points"] = change_points
+    policy = make_policy(policy_name, seed=seed, **policy_kwargs)
+    machine = Machine(config, policy=policy)
+    if fault == "drop-requeue":
+        for cpu in machine.cpus:
+            cpu.isa.requeue_enabled = False
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    recorder = HistoryRecorder(machine)
+    error = None
+    try:
+        program.setup(machine, runtime, arena)
+        machine.run(max_cycles=program.max_cycles)
+    except ReproError as exc:
+        error = exc
+    finally:
+        recorder.detach()
+    if error is None:
+        try:
+            program.verify(machine)
+        except ReproError as exc:
+            error = exc
+    history = recorder.history
+    violations = list(check_serializability(history))
+    violations += check_lost_wakeups(machine, error, program.waiter_cpus)
+    if error is None:
+        violations += program.check_final(machine, history)
+    elif not violations:
+        # The run failed in a way no specific oracle classified; surface
+        # it rather than letting a crash read as a pass.
+        violations.append(OracleViolation(
+            "run-failure", f"{type(error).__name__}: {error}"))
+    return CaseResult(
+        program_name, config_name, policy_name, seed,
+        violations=violations,
+        n_committed=len(history),
+        commit_cpus=tuple(r.cpu for r in history.committed),
+        error=str(error) if error else None,
+        fired_points=(list(policy.fired)
+                      if isinstance(policy, PriorityPolicy) else None),
+    )
+
+
+def sweep(programs=None, configs=None, policies=POLICIES, seeds=3,
+          fault=None, timing_seeds=1, report=None):
+    """The full product sweep; returns a list of :class:`CaseResult`.
+
+    ``seeds`` counts per (program, config, policy); timing configs (the
+    slow ones) get ``timing_seeds``.  ``report``, if given, is called with
+    each finished :class:`CaseResult` (progress streaming).
+    """
+    programs = list(programs) if programs else sorted(PROGRAMS)
+    configs = list(configs) if configs else list(CONFIGS)
+    results = []
+    for program_name in programs:
+        for config_name in configs:
+            depth = seeds if config_name in FAST_CONFIGS else min(
+                seeds, timing_seeds)
+            for policy_name in policies:
+                for seed in range(1, depth + 1):
+                    result = run_case(program_name, config_name,
+                                      policy_name, seed, fault=fault)
+                    results.append(result)
+                    if report is not None:
+                        report(result)
+    return results
+
+
+def shrink_change_points(failure, fault=None):
+    """Greedy minimisation of a failing ``pct`` case's change-points.
+
+    Re-runs the case with explicit change-point subsets, dropping any
+    point whose removal keeps the failure, until no single removal does.
+    Returns ``(points, final_result)`` — the minimal point list (possibly
+    empty: the failure never needed preemption) and the re-run showing
+    the failure under exactly those points.
+    """
+    if failure.policy != "pct":
+        raise ValueError("shrinking applies to pct failures only")
+
+    def rerun(points):
+        return run_case(failure.program, failure.config, "pct",
+                        failure.seed, fault=fault, change_points=points)
+
+    points = sorted({step for step, _cpu in (failure.fired_points or [])})
+    result = rerun(points)
+    if not result.failed:
+        # The failure depends on change-points that never fired (it is
+        # schedule-noise-free); nothing to shrink.
+        return points, failure
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for index in range(len(points)):
+            trial = points[:index] + points[index + 1:]
+            attempt = rerun(trial)
+            if attempt.failed:
+                points, result = trial, attempt
+                shrinking = True
+                break
+    return points, result
+
+
+def summarize(results):
+    """(n_run, n_skipped, failures) over a sweep's results."""
+    failures = [r for r in results if r.failed]
+    n_skipped = sum(1 for r in results if r.skipped)
+    n_run = len(results) - n_skipped
+    return n_run, n_skipped, failures

@@ -1,0 +1,565 @@
+"""Small adversarial programs for the schedule-exploration fuzzer.
+
+Each program is a :class:`~repro.workloads.base.Workload` whose
+correctness claim is *schedule-independent*: under any interleaving the
+engine can produce, the run must finish, the final state must satisfy the
+program's invariant, and the recorded history must pass the oracles.
+They are deliberately tiny — a fuzz case must cost milliseconds — and
+deliberately contended, so randomized schedules actually reorder their
+commits.
+
+The roster targets the mechanisms DESIGN.md §6b found fragile:
+
+* ``counter``     — the atomic-increment classic (serializability).
+* ``atomicity``   — a non-transactional writer racing transactional
+  readers (strong atomicity: no torn reads across one-word commits).
+* ``bank``        — conserved-sum transfers (serializability).
+* ``writeskew``   — the write-skew shape snapshot systems get wrong; a
+  conflict-serializable HTM must not.
+* ``nestedopen``  — closed nesting inside, open-nested logging to a hot
+  line (open commits publish exactly once, survive parent restarts).
+* ``compensation``— open-nested effect + compensating violation handler,
+  DESIGN.md §6b.6: the effect must land exactly once per commit, with
+  idempotent (absolute-value) compensation registered *before* the
+  effect.
+* ``requeue``     — a wakeup whose delivery depends on the §6b.2
+  violation-record re-queue rule: a dispatcher destroyed by a nested
+  rollback must re-queue the record it was handling, or the wake is
+  silently dropped and a parked CPU sleeps forever.
+* ``condsync``    — the full watch/retry scheduler on one
+  producer/consumer pair (no lost or duplicated wakeups).
+
+Programs that rely on commit-time violation *delivery* declare
+``supports(config)`` accordingly: under eager ``requester_stalls``
+detection a writer stalls or self-aborts against a long-running reader
+instead of violating it, so the handler-driven scenarios only exist on a
+lazy machine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ReproError
+from repro.common.params import LAZY
+from repro.runtime.core import RESUME
+from repro.sim import ops as O
+from repro.workloads.base import Workload
+from repro.workloads.condsync_bench import CondSyncWorkload
+
+from repro.check.oracles import check_exact_count, check_invariant
+
+
+class CheckProgram(Workload):
+    """Base: a workload with fuzzing metadata and extra oracles."""
+
+    #: Simulated-cycle budget for one fuzz case (generous: legitimate
+    #: runs finish in a small fraction of this).
+    max_cycles = 2_000_000
+
+    #: CPUs allowed to park awaiting a wakeup (None: any).  The
+    #: lost-wakeup oracle flags these if the run ends with one asleep.
+    waiter_cpus = None
+
+    def supports(self, config):
+        """Whether this program's scenario exists under ``config``."""
+        return True
+
+    def check_final(self, machine, history):
+        """Program-specific oracles; returns a list of violations."""
+        return []
+
+
+# ----------------------------------------------------------------------
+
+
+class CounterProgram(CheckProgram):
+    """N workers × M atomic increments of one shared counter."""
+
+    name = "counter"
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, increments=6):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.increments = increments
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.addr = arena.alloc_word(0, isolate=True)
+        rng = random.Random(self.seed)
+        jitter = [[rng.randrange(40) for _ in range(self.increments)]
+                  for _ in range(self.n_threads)]
+        for worker in range(self.n_threads):
+            runtime.spawn(self._worker, jitter[worker], cpu_id=worker)
+
+    def _worker(self, t, jitter):
+        rt = self._rt
+        for gap in jitter:
+            def body(t):
+                value = yield t.load(self.addr)
+                yield t.alu(5)
+                yield t.store(self.addr, value + 1)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(1 + gap)
+
+    def verify(self, machine):
+        expected = self.n_threads * self.increments
+        final = machine.memory.read(self.addr)
+        if final != expected:
+            raise ReproError(
+                f"counter: final {final}, expected {expected} "
+                f"(lost increments)")
+
+
+class StrongAtomicityProgram(CheckProgram):
+    """A non-transactional writer racing transactional double-readers.
+
+    CPU 0 stores successive values to ``F`` with plain (depth-0) stores;
+    the other CPUs run transactions that read ``F`` twice with a compute
+    gap.  Strong atomicity makes each depth-0 store a one-word commit, so
+    no committed transaction may observe two different values."""
+
+    name = "atomicity"
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, rounds=5):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.rounds = rounds
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.flag = arena.alloc_word(0, isolate=True)
+        runtime.spawn(self._writer, cpu_id=0)
+        for reader in range(1, self.n_threads):
+            runtime.spawn(self._reader, cpu_id=reader)
+
+    def _writer(self, t):
+        for value in range(1, self.rounds + 1):
+            yield t.alu(30)
+            yield t.store(self.flag, value)   # depth 0: one-word commit
+
+    def _reader(self, t):
+        rt = self._rt
+        pairs = []
+        for _ in range(self.rounds):
+            def body(t):
+                first = yield t.load(self.flag)
+                yield t.alu(20)
+                second = yield t.load(self.flag)
+                return (first, second)
+
+            pairs.append((yield from rt.atomic(t, body)))
+            yield t.alu(9)
+        return pairs
+
+    def verify(self, machine):
+        for reader in range(1, self.n_threads):
+            for first, second in machine.cpus[reader].result:
+                if first != second:
+                    raise ReproError(
+                        f"atomicity: cpu {reader} saw torn pair "
+                        f"({first}, {second}) across a one-word commit")
+
+
+class BankProgram(CheckProgram):
+    """Random transfers between accounts; the total is conserved."""
+
+    name = "bank"
+
+    ACCOUNTS = 4
+    INITIAL = 100
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, rounds=5):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.rounds = rounds
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.accounts = [arena.alloc_word(self.INITIAL, isolate=True)
+                         for _ in range(self.ACCOUNTS)]
+        rng = random.Random(self.seed)
+        for worker in range(self.n_threads):
+            plan = [(rng.randrange(self.ACCOUNTS),
+                     rng.randrange(self.ACCOUNTS),
+                     rng.randrange(1, 10),
+                     rng.randrange(30))
+                    for _ in range(self.rounds)]
+            runtime.spawn(self._worker, plan, cpu_id=worker)
+
+    def _worker(self, t, plan):
+        rt = self._rt
+        for src, dst, amount, gap in plan:
+            def body(t, src=src, dst=dst, amount=amount):
+                balance = yield t.load(self.accounts[src])
+                yield t.alu(8)
+                yield t.store(self.accounts[src], balance - amount)
+                other = yield t.load(self.accounts[dst])
+                yield t.store(self.accounts[dst], other + amount)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(1 + gap)
+
+    def verify(self, machine):
+        total = sum(machine.memory.read(addr) for addr in self.accounts)
+        expected = self.ACCOUNTS * self.INITIAL
+        if total != expected:
+            raise ReproError(
+                f"bank: total {total}, expected {expected} "
+                f"(non-atomic transfer)")
+
+
+class WriteSkewProgram(CheckProgram):
+    """The write-skew shape: each transaction reads both cells and
+    conditionally withdraws from its own.  Snapshot isolation admits the
+    interleaving where both withdraw; conflict serializability does not.
+    From (5, 5) exactly one withdrawal can succeed serially, so the final
+    sum is exactly 5."""
+
+    name = "writeskew"
+
+    def __init__(self, n_threads=2, seed=1, scale=1.0, attempts=3):
+        super().__init__(2, seed=seed, scale=scale)
+        self.attempts = attempts
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.cells = [arena.alloc_word(5, isolate=True) for _ in range(2)]
+        rng = random.Random(self.seed)
+        for worker in range(2):
+            gaps = [rng.randrange(25) for _ in range(self.attempts)]
+            runtime.spawn(self._worker, worker, gaps, cpu_id=worker)
+
+    def _worker(self, t, who, gaps):
+        rt = self._rt
+        for gap in gaps:
+            def body(t):
+                mine = yield t.load(self.cells[who])
+                other = yield t.load(self.cells[1 - who])
+                yield t.alu(10)
+                if mine + other >= 6:
+                    yield t.store(self.cells[who], mine - 5)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(1 + gap)
+
+    def verify(self, machine):
+        total = sum(machine.memory.read(addr) for addr in self.cells)
+        if total != 5:
+            raise ReproError(
+                f"writeskew: final sum {total}, expected exactly 5 "
+                f"(write skew committed)" if total < 5 else
+                f"writeskew: final sum {total}, expected exactly 5 "
+                f"(no withdrawal succeeded)")
+
+
+class NestedOpenProgram(CheckProgram):
+    """Closed-nested work on a hot counter with open-nested logging.
+
+    Every attempt open-logs to ``L`` before touching the contended ``D``;
+    restarts of the outer transaction re-log, so committed L >= D, and
+    open commits must survive parent restarts (L strictly greater when
+    any attempt was rolled back)."""
+
+    name = "nestedopen"
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, rounds=4):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.rounds = rounds
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.data = arena.alloc_word(0, isolate=True)
+        self.log = arena.alloc_word(0, isolate=True)
+        for worker in range(self.n_threads):
+            runtime.spawn(self._worker, cpu_id=worker)
+
+    def _worker(self, t):
+        rt = self._rt
+
+        def log_attempt(t):
+            count = yield t.load(self.log)
+            yield t.store(self.log, count + 1)
+
+        def inner(t):
+            value = yield t.load(self.data)
+            yield t.alu(15)
+            yield t.store(self.data, value + 1)
+
+        def body(t):
+            yield from rt.atomic_open(t, log_attempt)
+            yield from rt.atomic(t, inner)   # closed-nested
+
+        for _ in range(self.rounds):
+            yield from rt.atomic(t, body)
+            yield t.alu(5)
+
+    def verify(self, machine):
+        data = machine.memory.read(self.data)
+        log = machine.memory.read(self.log)
+        expected = self.n_threads * self.rounds
+        if data != expected:
+            raise ReproError(
+                f"nestedopen: data {data}, expected {expected}")
+        if log < data:
+            raise ReproError(
+                f"nestedopen: open-nested log {log} < committed work "
+                f"{data} (an open commit was lost in a parent restart)")
+
+    def check_final(self, machine, history):
+        return check_invariant(
+            "nestedopen-open-commits",
+            any(r.kind == "open" for r in history.committed),
+            "no open-nested commit was recorded")
+
+
+class CompensationProgram(CheckProgram):
+    """Exactly-once open-nested effects with compensation (§6b.6).
+
+    The *mover* (CPU 0, sole owner of ``POS``) runs transactions that:
+    read ``POS``; register a compensating violation handler carrying the
+    absolute pre-value (**before** the effect, so every kill window is
+    covered); perform the effect ``POS = pre + 1`` in an open-nested
+    transaction; then do contended work on ``D`` (where the attackers
+    live) and bump a commit counter ``CNT``.  A violation rolls the
+    transaction back after compensation restored ``POS = pre`` —
+    idempotent because the restore is an absolute store.  The invariant
+    on any schedule: ``POS == CNT``.
+
+    The restore itself is an idempotent immediate store (``imstid``),
+    not an open-nested transaction: fuzzing showed that a restore
+    transaction inside the handler re-enables violation reporting, so a
+    stream of conflicts on ``D`` can re-enter the handler from its own
+    open transaction and stack nesting levels until the hardware depth
+    limit forces a capacity abort.  A single-owner absolute restore
+    (DESIGN.md §6b.6) needs no isolation, so ``imstid`` is both safe
+    and re-entrancy-proof."""
+
+    name = "compensation"
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, rounds=4):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.rounds = rounds
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.pos = arena.alloc_word(0, isolate=True)
+        self.cnt = arena.alloc_word(0, isolate=True)
+        self.data = arena.alloc_word(0, isolate=True)
+        runtime.spawn(self._mover, cpu_id=0)
+        for attacker in range(1, self.n_threads):
+            runtime.spawn(self._attacker, cpu_id=attacker)
+
+    def _compensate(self, t, pre):
+        yield t.imstid(self.pos, pre)
+        # Fall through: the dispatcher proceeds to roll back.
+
+    def _mover(self, t):
+        rt = self._rt
+        for _ in range(self.rounds):
+            def body(t):
+                pre = yield t.load(self.pos)
+                yield from rt.register_violation_handler(
+                    t, self._compensate, pre)
+
+                def effect(t):
+                    yield t.store(self.pos, pre + 1)
+
+                yield from rt.atomic_open(t, effect)
+                value = yield t.load(self.data)
+                yield t.alu(150)
+                yield t.store(self.data, value + 1)
+                count = yield t.load(self.cnt)
+                yield t.store(self.cnt, count + 1)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(9)
+
+    def _attacker(self, t):
+        rt = self._rt
+        for _ in range(3 * self.rounds):
+            def body(t):
+                value = yield t.load(self.data)
+                yield t.alu(12)
+                yield t.store(self.data, value + 1)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(7)
+
+    def verify(self, machine):
+        pos = machine.memory.read(self.pos)
+        cnt = machine.memory.read(self.cnt)
+        if pos != cnt:
+            raise ReproError(
+                f"compensation: POS {pos} != committed count {cnt} "
+                f"(effect not exactly-once)")
+        if cnt != self.rounds:
+            raise ReproError(
+                f"compensation: committed count {cnt}, expected "
+                f"{self.rounds}")
+
+    def check_final(self, machine, history):
+        return check_exact_count(
+            "compensated-open-effect",
+            machine.memory.read(self.pos),
+            machine.memory.read(self.cnt))
+
+
+class RequeueWakeupProgram(CheckProgram):
+    """A wakeup that rides on the §6b.2 violation-record re-queue rule.
+
+    CPU 0 parks and waits for a wake that only the *victim's* level-1
+    violation handler sends.  The attackers are timed so that, on the
+    deterministic schedule, the level-1 record is being handled by a
+    dispatcher that a nested (level-2) rollback destroys — the §6b.2
+    window.  With re-queueing intact the record is re-delivered and the
+    handler wakes CPU 0 on every schedule; with the test-only
+    ``requeue_enabled`` hook off, the record is dropped and CPU 0 sleeps
+    forever (caught by the lost-wakeup oracle as a deadlock).
+
+    Schedules exist (PCT demotion of the victim) where the attackers
+    commit before the victim ever reads ``W`` — then no violation fires
+    and nobody owes the wake through the handler.  The victim therefore
+    tracks *delivery* of the level-1 record (reading ``xvcurrent`` in
+    its handlers) and sends a fallback wake after committing **only if
+    the record was never delivered**.  Once delivered, responsibility
+    sits with the re-queue rule: if the hardware drops the record, the
+    wake is rightly lost and the oracle fires.
+
+    Timing margins (cycles are exact under ``timing=False`` and bounded
+    by the policies' scheduling window): the victim registers its
+    handlers within ~100 cycles, the first attacker fires at ~2000, and
+    the victim's inner window is ~6000 long — so the record always finds
+    both handlers registered and the victim mid-transaction."""
+
+    name = "requeue"
+    waiter_cpus = frozenset({0})
+
+    def __init__(self, n_threads=4, seed=1, scale=1.0):
+        super().__init__(4, seed=seed, scale=scale)
+
+    def supports(self, config):
+        # Eager requester_stalls resolves the attackers' stores by
+        # stalling them against the long-running victim: no commit-time
+        # violation, no handler, no scenario.
+        return config.detection == LAZY
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.w_addr = arena.alloc_word(0, isolate=True)
+        self.x_addr = arena.alloc_word(0, isolate=True)
+        runtime.spawn(self._waiter, cpu_id=0)
+        runtime.spawn(self._victim, cpu_id=1)
+        runtime.spawn(self._attacker, self.w_addr, 2000, cpu_id=2)
+        runtime.spawn(self._attacker, self.x_addr, 2060, cpu_id=3)
+
+    def _waiter(self, t):
+        yield t.alu(5)
+        yield O.YieldCpu()   # parks unless a wake token is already banked
+        return "woken"
+
+    def _victim(self, t):
+        rt = self._rt
+        saw_r1 = [False]   # the level-1 (bit 0) record was delivered
+        woke = [False]     # the wake handler actually ran
+
+        def wake_handler(t):   # level-1 handler: deliver the wakeup
+            woke[0] = True
+            yield t.alu(2)
+            yield O.Wake(0)
+            return RESUME
+
+        def window_handler(t):  # level-2 handler: interruptible window
+            if t.isa.xvcurrent & 1:
+                saw_r1[0] = True
+
+            def dally(t):
+                for _ in range(40):
+                    yield t.alu(5)
+
+            yield from rt.atomic_open(t, dally)
+            # Fall through: roll the level-2 transaction back.
+
+        def inner(t):           # level 2 (closed-nested)
+            yield from rt.register_violation_handler(t, window_handler)
+            yield t.load(self.x_addr)
+            for _ in range(600):
+                yield t.alu(10)
+
+        def body(t):            # level 1
+            yield from rt.register_violation_handler(t, wake_handler)
+            value = yield t.load(self.w_addr)
+            yield from rt.atomic(t, inner)
+            return value
+
+        result = yield from rt.atomic(t, body)
+        if not woke[0] and not saw_r1[0]:
+            # The race never happened on this schedule: the wake is
+            # still owed, but not through the re-queue path.
+            yield O.Wake(0)
+        return result
+
+    def _attacker(self, t, addr, delay, *, _chunk=100):
+        for _ in range(delay // _chunk):
+            yield t.alu(_chunk)
+
+        def body(t):
+            yield t.store(addr, 1)
+
+        yield from self._rt.atomic(t, body)
+
+    def verify(self, machine):
+        if machine.cpus[0].result != "woken":
+            raise ReproError("requeue: the waiter was never woken")
+
+
+class CondSyncProgram(CheckProgram):
+    """One producer/consumer pair under the full watch/retry scheduler."""
+
+    name = "condsync"
+    max_cycles = 1_200_000
+    waiter_cpus = frozenset({1, 2})
+
+    def __init__(self, n_threads=2, seed=1, scale=0.5):
+        self._inner = CondSyncWorkload(n_pairs=1, seed=seed, scale=scale)
+        super().__init__(self._inner.n_threads, seed=seed, scale=scale)
+
+    def min_cpus(self):
+        return self._inner.min_cpus()
+
+    def supports(self, config):
+        # The scheduler transaction never commits; under eager detection
+        # every producer targeting a watched line stalls against it
+        # forever.  The paper's condsync runtime presumes lazy detection.
+        return config.detection == LAZY
+
+    def setup(self, machine, runtime, arena):
+        self._inner.setup(machine, runtime, arena)
+
+    def verify(self, machine):
+        self._inner.verify(machine)
+
+
+#: Fuzzable programs by name.
+PROGRAMS = {
+    cls.name: cls
+    for cls in (
+        CounterProgram,
+        StrongAtomicityProgram,
+        BankProgram,
+        WriteSkewProgram,
+        NestedOpenProgram,
+        CompensationProgram,
+        RequeueWakeupProgram,
+        CondSyncProgram,
+    )
+}
+
+
+def make_program(name, seed=1):
+    """Instantiate a fuzz program by registry name."""
+    try:
+        cls = PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown check program {name!r}; "
+            f"choose from {sorted(PROGRAMS)}") from None
+    return cls(seed=seed)

@@ -8,6 +8,7 @@
     python -m repro overheads            # §7 instruction-count table
     python -m repro isa                  # Tables 1 and 2 inventories
     python -m repro profile mp3d         # run one workload, print profile
+    python -m repro check                # schedule fuzzer + oracles
     python -m repro all                  # the whole evaluation
 
 Everything prints simulated-cycle results; all runs are deterministic.
@@ -171,6 +172,66 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_check(args):
+    from repro.check.fuzz import (
+        CONFIGS,
+        POLICIES,
+        run_case,
+        shrink_change_points,
+        summarize,
+        sweep,
+    )
+    from repro.check.programs import PROGRAMS
+
+    fault = args.inject_fault or None
+
+    if args.replay:
+        try:
+            program, config, policy, seed = args.replay.split(":")
+            seed = int(seed)
+        except ValueError:
+            print("--replay wants program:config:policy:seed",
+                  file=sys.stderr)
+            return 2
+        result = run_case(program, config, policy, seed, fault=fault)
+        print(result)
+        return 1 if result.failed else 0
+
+    def pick(raw, universe, what):
+        if not raw:
+            return None
+        names = raw.split(",")
+        unknown = [n for n in names if n not in universe]
+        if unknown:
+            raise SystemExit(
+                f"unknown {what} {unknown}; choose from {sorted(universe)}")
+        return names
+
+    results = sweep(
+        programs=pick(args.programs, PROGRAMS, "program"),
+        configs=pick(args.configs, CONFIGS, "config"),
+        policies=pick(args.policies, set(POLICIES), "policy") or POLICIES,
+        seeds=args.seeds,
+        fault=fault,
+        report=(print if args.verbose else None),
+    )
+    n_run, n_skipped, failures = summarize(results)
+    print(f"check: {n_run} cases run, {n_skipped} skipped, "
+          f"{len(failures)} failed"
+          + (f" (fault injected: {fault})" if fault else ""))
+    for failure in failures:
+        print()
+        print(failure)
+        if failure.policy == "pct" and failure.fired_points:
+            points, _ = shrink_change_points(failure, fault=fault)
+            print(f"  shrunk to change-points {points}; replay with:")
+        else:
+            print("  replay with:")
+        print(f"    python -m repro check --replay {failure.triple}"
+              + (f" --inject-fault {fault}" if fault else ""))
+    return 1 if failures else 0
+
+
 def cmd_all(args):
     status = 0
     for step in (cmd_isa, cmd_overheads, cmd_figure5, cmd_io, cmd_condsync):
@@ -231,6 +292,25 @@ def build_parser():
                    help="comma-separated event kinds (default: all)")
     p.add_argument("--limit", type=int, default=60)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "check",
+        help="schedule-exploration fuzzer + serializability oracle")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeds per (program, config, policy) cell")
+    p.add_argument("--programs", default="",
+                   help="comma-separated program names (default: all)")
+    p.add_argument("--configs", default="",
+                   help="comma-separated config names (default: all)")
+    p.add_argument("--policies", default="",
+                   help="comma-separated policies from det,random,pct")
+    p.add_argument("--inject-fault", default="", choices=["", "drop-requeue"],
+                   help="re-introduce a known-fixed bug (oracle self-test)")
+    p.add_argument("--replay", default="",
+                   help="re-run one case as program:config:policy:seed")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case as it finishes")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("all", help="the whole evaluation")
     common(p)

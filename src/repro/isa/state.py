@@ -59,6 +59,12 @@ class IsaState:
         #: Abort code of the most recent ``xabort`` (software-visible).
         self.xabort_code = None
 
+        #: Test-only fault hook: when False, :meth:`requeue_current`
+        #: silently drops the record a dying dispatcher was handling —
+        #: the exact bug DESIGN.md §6b.2 fixed.  The checking layer flips
+        #: this to prove its lost-wakeup oracle catches the regression.
+        self.requeue_enabled = True
+
     # ------------------------------------------------------------------
 
     @property
@@ -105,7 +111,7 @@ class IsaState:
         instead of silently dropped."""
         keep = (1 << (rollback_level - 1)) - 1
         mask = self.xvcurrent & keep
-        if mask:
+        if mask and self.requeue_enabled:
             self._vqueue.appendleft((mask, self.xvaddr))
         self.xvcurrent = 0
 

@@ -5,10 +5,18 @@ imports the ISA layer, which imports :mod:`repro.sim.ops`).
 """
 
 from repro.sim import ops
+from repro.sim.schedule import (
+    DeterministicPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    SchedulePolicy,
+    make_policy,
+)
 from repro.sim.trace import ALL_KINDS, TraceEvent, Tracer
 
-__all__ = ["ALL_KINDS", "CAPACITY_RETRY_LIMIT", "Machine", "ops",
-           "TraceEvent", "Tracer"]
+__all__ = ["ALL_KINDS", "CAPACITY_RETRY_LIMIT", "DeterministicPolicy",
+           "Machine", "PriorityPolicy", "RandomPolicy", "SchedulePolicy",
+           "TraceEvent", "Tracer", "make_policy", "ops"]
 
 
 def __getattr__(name):

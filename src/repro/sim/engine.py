@@ -2,9 +2,12 @@
 
 :class:`Machine` runs one simulated program per CPU.  Programs are Python
 generators yielding :mod:`~repro.sim.ops` operations; the engine is a
-discrete-event scheduler that always steps the runnable CPU with the
-smallest local time, so inter-CPU event ordering is globally consistent
-and fully deterministic (ties break by CPU id).
+discrete-event scheduler that picks the next runnable CPU through a
+pluggable :class:`~repro.sim.schedule.SchedulePolicy`.  The default
+policy steps the runnable CPU with the smallest local time (ties break by
+CPU id), so inter-CPU event ordering is globally consistent and fully
+deterministic; the checking layer substitutes randomized policies to
+explore other interleavings.
 
 The engine also implements the *hardware* side of the paper's handler
 architecture:
@@ -41,6 +44,7 @@ from repro.memsys.hierarchy import make_memory_model
 from repro.memsys.memory import MemoryImage
 from repro.common.stats import Stats
 from repro.sim.ops import Op
+from repro.sim.schedule import DeterministicPolicy
 
 #: Hard cap on consecutive capacity aborts of one transaction before the
 #: engine declares the workload unrunnable on this hardware configuration.
@@ -50,9 +54,12 @@ CAPACITY_RETRY_LIMIT = 16
 class Machine:
     """One simulated CMP: CPUs, memory system, HTM, and the scheduler."""
 
-    def __init__(self, config, stats=None):
+    def __init__(self, config, stats=None, policy=None):
         self.config = config
         self.stats = stats if stats is not None else Stats()
+        #: Ready-CPU selection strategy (repro.sim.schedule).  The default
+        #: deterministic policy reproduces the historical schedule exactly.
+        self.policy = policy if policy is not None else DeterministicPolicy()
         self.memory = MemoryImage()
         self.memmodel = make_memory_model(config, self.stats)
         self.htm = HtmSystem(config, self.memory, self.stats)
@@ -140,7 +147,7 @@ class Machine:
                 ]
                 raise DeadlockError(
                     f"all threads waiting at cycle {self.now}: {waiting}")
-            cpu = min(runnable, key=lambda c: (c.resume_at, c.cpu_id))
+            cpu = self.policy.choose(runnable)
             self.now = max(self.now, cpu.resume_at)
             if self.now > max_cycles:
                 raise SimulationError(

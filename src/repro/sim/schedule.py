@@ -1,0 +1,189 @@
+"""Pluggable ready-CPU scheduling policies for the engine.
+
+The engine's main loop repeatedly picks one CPU from the runnable set and
+steps it.  The *default* pick — the runnable CPU with the smallest local
+time, ties broken by CPU id — makes every run bit-for-bit deterministic,
+which is what the paper's evaluation numbers rely on.  But determinism is
+also a blind spot: the subtle bugs in DESIGN.md §6b (lost wakeups,
+re-queued violation records, at-most-once compensation) were all
+*schedule-dependent*.  This module factors the pick into a
+:class:`SchedulePolicy` so the checking layer (:mod:`repro.check`) can
+explore other interleavings:
+
+* :class:`DeterministicPolicy` — the historical behaviour, and the
+  default; golden numbers depend on it staying bit-for-bit identical.
+* :class:`RandomPolicy` — seeded uniform choice among the CPUs within a
+  bounded window of the earliest local time.
+* :class:`PriorityPolicy` — PCT-style priority scheduling (Burckhardt et
+  al., "A Randomized Scheduler with Probabilistic Guarantees of Finding
+  Bugs"): each CPU gets a random static priority, and at ``depth`` random
+  change-points the currently-chosen CPU is demoted below everyone else.
+
+Every policy other than the deterministic one restricts its choice to
+CPUs whose ``resume_at`` lies within ``window`` cycles of the earliest
+runnable ``resume_at``.  The window is what guarantees progress under
+adversarial choice: a CPU that is never picked keeps its ``resume_at``
+fixed while the favoured CPUs advance theirs, so after at most ``window``
+cycles of virtual time the laggard is the *only* in-window candidate and
+must be scheduled.  (Spin loops — e.g. the condsync ack spin — therefore
+cannot starve the thread they are waiting on.)
+
+Schedules are reproducible: the same ``(policy name, seed)`` pair always
+yields the same sequence of choices for the same program, because all
+randomness comes from ``random.Random(seed)`` streams and per-CPU
+priorities are derived from ``seed`` and the CPU id alone (never from
+hash ordering or encounter order).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Default bound (cycles) on how far ahead of the earliest runnable CPU a
+#: randomized policy may schedule.  Small enough that spin loops make
+#: their partners runnable promptly, large enough to reorder commits.
+DEFAULT_WINDOW = 250
+
+
+def window_candidates(runnable, window):
+    """The runnable CPUs within ``window`` cycles of the earliest one,
+    in deterministic (resume_at, cpu_id) order."""
+    earliest = min(cpu.resume_at for cpu in runnable)
+    candidates = [cpu for cpu in runnable
+                  if cpu.resume_at <= earliest + window]
+    candidates.sort(key=lambda cpu: (cpu.resume_at, cpu.cpu_id))
+    return candidates
+
+
+class SchedulePolicy:
+    """Strategy interface: pick the next CPU to step."""
+
+    #: Registry name (see :func:`make_policy`).
+    name = "abstract"
+
+    def choose(self, runnable):
+        """Return one CPU from the non-empty list ``runnable``."""
+        raise NotImplementedError
+
+    def describe(self):
+        """Replayable description, e.g. ``pct(seed=3, depth=3)``."""
+        return self.name
+
+
+class DeterministicPolicy(SchedulePolicy):
+    """The engine's historical schedule: smallest local time wins, ties
+    break by CPU id.  Bit-for-bit identical to the inlined tie-break the
+    engine shipped with; the golden-number tests pin this."""
+
+    name = "det"
+
+    def choose(self, runnable):
+        return min(runnable, key=lambda cpu: (cpu.resume_at, cpu.cpu_id))
+
+
+class RandomPolicy(SchedulePolicy):
+    """Seeded uniform choice among the in-window candidates."""
+
+    name = "random"
+
+    def __init__(self, seed=0, window=DEFAULT_WINDOW):
+        self.seed = seed
+        self.window = window
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable):
+        candidates = window_candidates(runnable, self.window)
+        return self._rng.choice(candidates)
+
+    def describe(self):
+        return f"random(seed={self.seed})"
+
+
+class PriorityPolicy(SchedulePolicy):
+    """PCT-style priority scheduling with ``depth`` change-points.
+
+    Each CPU gets a static pseudo-random priority derived from
+    ``(seed, cpu_id)``; the highest-priority in-window CPU runs.  At each
+    of ``depth`` change-points (scheduling-step indices drawn from
+    ``range(1, horizon)``), the CPU chosen at that step is demoted below
+    every static priority — the PCT move that forces the "wrong" thread
+    to run at a critical moment.
+
+    ``change_points`` may be passed explicitly (a sequence of step
+    indices) to replay or *shrink* a failing schedule: the fuzz driver
+    re-runs with subsets of the original points to find a minimal set
+    that still fails.  The points that actually fired are recorded in
+    :attr:`fired` (as ``(step, demoted_cpu_id)`` pairs).
+    """
+
+    name = "pct"
+
+    def __init__(self, seed=0, depth=3, horizon=50_000, change_points=None,
+                 window=DEFAULT_WINDOW):
+        self.seed = seed
+        self.depth = depth
+        self.horizon = horizon
+        self.window = window
+        if change_points is None:
+            rng = random.Random(seed)
+            span = range(1, max(2, horizon))
+            change_points = sorted(
+                rng.sample(span, min(depth, len(span))))
+        self.change_points = sorted(change_points)
+        self.fired = []
+        self._next_point = 0
+        self._steps = 0
+        #: cpu_id -> demotion ordinal; the most recently demoted CPU has
+        #: the lowest priority of all.
+        self._demoted = {}
+        self._demote_seq = 0
+
+    def _static_priority(self, cpu_id):
+        # Derived from (seed, cpu_id) alone: stable across runs and
+        # independent of encounter order, so replays and shrinks see the
+        # same priorities.
+        return random.Random(self.seed * 1_000_003 + cpu_id).random()
+
+    def _rank(self, cpu):
+        if cpu.cpu_id in self._demoted:
+            # Demoted band: below all static priorities; a later demotion
+            # ranks below an earlier one.
+            return (1, self._demote_seq - self._demoted[cpu.cpu_id])
+        return (0, self._static_priority(cpu.cpu_id))
+
+    def choose(self, runnable):
+        self._steps += 1
+        candidates = window_candidates(runnable, self.window)
+        chosen = min(candidates,
+                     key=lambda cpu: (self._rank(cpu),
+                                      cpu.resume_at, cpu.cpu_id))
+        if (self._next_point < len(self.change_points)
+                and self._steps >= self.change_points[self._next_point]):
+            self._next_point += 1
+            self._demote_seq += 1
+            self._demoted[chosen.cpu_id] = self._demote_seq
+            self.fired.append((self._steps, chosen.cpu_id))
+        return chosen
+
+    def describe(self):
+        return (f"pct(seed={self.seed}, depth={self.depth}, "
+                f"change_points={list(self.change_points)})")
+
+
+#: name -> constructor accepting (seed, **kwargs).
+POLICIES = {
+    DeterministicPolicy.name: lambda seed=0, **kw: DeterministicPolicy(),
+    RandomPolicy.name: RandomPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+}
+
+
+def make_policy(name, seed=0, **kwargs):
+    """Build a policy by registry name (``det``, ``random``, ``pct``)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule policy {name!r}; "
+            f"choose from {sorted(POLICIES)}") from None
+    return factory(seed=seed, **kwargs)

@@ -41,14 +41,18 @@ class Workload:
 
     # -- driver ------------------------------------------------------------
 
-    def run(self, config, max_cycles=2_000_000_000):
+    def run(self, config, max_cycles=2_000_000_000, policy=None):
         """Build a machine, run this workload on it, verify, and return
-        the machine (stats under ``machine.stats``)."""
+        the machine (stats under ``machine.stats``).
+
+        ``policy`` selects the engine's ready-CPU schedule
+        (:mod:`repro.sim.schedule`); None keeps the deterministic default.
+        """
         if config.n_cpus < self.min_cpus():
             raise ReproError(
                 f"{self.name} needs >= {self.min_cpus()} CPUs, config has "
                 f"{config.n_cpus}")
-        machine = Machine(config)
+        machine = Machine(config, policy=policy)
         runtime = Runtime(machine)
         arena = SharedArena(machine)
         self.setup(machine, runtime, arena)

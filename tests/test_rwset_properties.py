@@ -1,0 +1,120 @@
+"""Property-based tests for read-/write-set tracking (repro.htm.rwset).
+
+These pin the algebra the conflict detectors and the nesting schemes
+lean on: closed-nested merges preserve the CPU's total footprint, the
+per-unit level bitmasks agree with the per-level sets, and release/
+discard remove exactly what they claim.  Requires ``hypothesis`` (an
+optional dev dependency — the module is skipped when it is absent).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.common.params import LINE, WORD, functional_config  # noqa: E402
+from repro.htm.rwset import RwSets  # noqa: E402
+
+#: Word-aligned addresses in a small pool, so collisions are common.
+ADDRS = st.integers(min_value=0, max_value=31).map(lambda i: i * 8)
+
+#: Per-level (reads, writes) footprints for a nest of 1-4 levels.
+LEVEL_SETS = st.lists(
+    st.tuples(st.sets(ADDRS, max_size=6), st.sets(ADDRS, max_size=6)),
+    min_size=1, max_size=4)
+
+
+def _build(levels, granularity=WORD):
+    rwsets = RwSets(functional_config(granularity=granularity))
+    for level, (reads, writes) in enumerate(levels, start=1):
+        rwsets.open_level(level)
+        for addr in reads:
+            rwsets.add_read(level, addr)
+        for addr in writes:
+            rwsets.add_write(level, addr)
+    return rwsets
+
+
+@settings(deadline=None)
+@given(LEVEL_SETS)
+def test_merge_preserves_the_total_footprint(levels):
+    """Closed-nested commits move tracking between levels but never drop
+    or invent a unit (the conflict detector's view must not change)."""
+    rwsets = _build(levels)
+    all_reads = rwsets.all_reads()
+    all_writes = rwsets.all_writes()
+    for level in range(len(levels), 1, -1):
+        rwsets.merge_into_parent(level)
+        assert rwsets.all_reads() == all_reads
+        assert rwsets.all_writes() == all_writes
+    assert rwsets.reads_at(1) == all_reads
+    assert rwsets.writes_at(1) == all_writes
+
+
+@settings(deadline=None)
+@given(LEVEL_SETS)
+def test_level_masks_agree_with_level_sets(levels):
+    rwsets = _build(levels)
+    units = rwsets.all_reads() | rwsets.all_writes()
+    for unit in units:
+        read_mask = rwsets.levels_reading(unit)
+        write_mask = rwsets.levels_writing(unit)
+        for level in range(1, len(levels) + 1):
+            bit = 1 << (level - 1)
+            assert bool(read_mask & bit) == (unit in rwsets.reads_at(level))
+            assert bool(write_mask & bit) == (unit in rwsets.writes_at(level))
+        assert rwsets.levels_touching(unit) == read_mask | write_mask
+
+
+@settings(deadline=None)
+@given(LEVEL_SETS.filter(lambda levels: len(levels) >= 2))
+def test_merge_moves_child_bits_to_the_parent(levels):
+    rwsets = _build(levels)
+    child = len(levels)
+    child_bit = 1 << (child - 1)
+    parent_bit = 1 << (child - 2)
+    child_units = rwsets.reads_at(child) | rwsets.writes_at(child)
+    rwsets.merge_into_parent(child)
+    assert child not in rwsets.active_levels()
+    for unit in child_units:
+        mask = rwsets.levels_touching(unit)
+        assert not mask & child_bit
+        assert mask & parent_bit
+
+
+@settings(deadline=None)
+@given(LEVEL_SETS)
+def test_discard_clears_exactly_that_level(levels):
+    rwsets = _build(levels)
+    victim = len(levels)
+    survivors_r = {lvl: set(rwsets.reads_at(lvl))
+                   for lvl in range(1, victim)}
+    rwsets.discard(victim)
+    bit = 1 << (victim - 1)
+    for unit in range(0, 32 * 8, 8):
+        assert not rwsets.levels_touching(unit) & bit
+    for lvl, reads in survivors_r.items():
+        assert rwsets.reads_at(lvl) == reads
+
+
+@settings(deadline=None)
+@given(st.sets(ADDRS, min_size=1, max_size=6), ADDRS)
+def test_release_drops_the_unit_iff_present(reads, addr):
+    rwsets = _build([(reads, set())])
+    was_read = addr in reads
+    assert rwsets.release(1, addr) == was_read
+    assert addr not in rwsets.reads_at(1)
+    assert rwsets.release(1, addr) is False   # already gone
+
+
+@settings(deadline=None)
+@given(st.sets(ADDRS, min_size=1, max_size=8))
+def test_line_granularity_collapses_addresses_within_a_line(addrs):
+    config = functional_config(granularity=LINE)
+    rwsets = RwSets(config)
+    rwsets.open_level(1)
+    for addr in addrs:
+        rwsets.add_read(1, addr)
+    expected = {addr - addr % config.line_size for addr in addrs}
+    assert rwsets.reads_at(1) == expected

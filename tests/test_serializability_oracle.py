@@ -1,0 +1,219 @@
+"""The conflict-serializability oracle, on hand-built and recorded
+histories.
+
+Hand-built histories pin the graph rules exactly (which interleavings
+form edges, which cycles are caught, what the waivers exclude); the
+recorded histories check that :class:`~repro.check.history
+.HistoryRecorder` applies the paper's nesting semantics — closed-nested
+commits merge into the parent, open-nested commits publish their own
+record and leave the parent's footprint untouched.
+"""
+
+from repro.check.history import History, HistoryRecorder, TxRecord
+from repro.check.oracles import (
+    check_exact_count,
+    check_invariant,
+    check_serializability,
+    find_cycle,
+    precedence_graph,
+)
+from repro.common.params import functional_config
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+
+
+def _tx(txid, cpu=0, reads=(), writes=(), commit_seq=0, **kwargs):
+    record = TxRecord(txid=txid, cpu=cpu, level=1, open=False,
+                      begin_cycle=0, status="committed", kind="outer",
+                      commit_seq=commit_seq, **kwargs)
+    for unit, first, last in reads:
+        record.reads[unit] = [first, last]
+    record.writes.update(writes)
+    return record
+
+
+def _history(*records):
+    history = History()
+    history.committed.extend(records)
+    return history
+
+
+# ---------------------------------------------------------------------------
+# Hand-built histories
+# ---------------------------------------------------------------------------
+
+def test_serial_chain_passes():
+    history = _history(
+        _tx(1, writes={0x100}, commit_seq=1),
+        _tx(2, reads=[(0x100, 2, 2)], writes={0x200}, commit_seq=3),
+        _tx(3, reads=[(0x200, 4, 4)], commit_seq=5),
+    )
+    assert check_serializability(history) == []
+
+
+def test_anti_dependency_alone_is_fine():
+    # T1 read the pre-state of a unit T2 later wrote: T1 -> T2 only.
+    history = _history(
+        _tx(1, reads=[(0x100, 1, 1)], commit_seq=2),
+        _tx(2, writes={0x100}, commit_seq=3),
+    )
+    assert check_serializability(history) == []
+    assert precedence_graph(history.committed) == {1: {2}, 2: set()}
+
+
+def test_lost_update_is_a_cycle():
+    # Both increments read the pre-state, then both committed: the
+    # classic lost update.
+    history = _history(
+        _tx(1, reads=[(0x100, 1, 1)], writes={0x100}, commit_seq=3),
+        _tx(2, reads=[(0x100, 2, 2)], writes={0x100}, commit_seq=4),
+    )
+    violations = check_serializability(history)
+    assert len(violations) == 1
+    assert violations[0].oracle == "serializability"
+    assert set(violations[0].cycle) >= {1, 2}
+
+
+def test_write_skew_is_a_cycle():
+    history = _history(
+        _tx(1, reads=[(0xA, 1, 1), (0xB, 2, 2)], writes={0xA},
+            commit_seq=5),
+        _tx(2, reads=[(0xA, 3, 3), (0xB, 4, 4)], writes={0xB},
+            commit_seq=6),
+    )
+    violations = check_serializability(history)
+    assert violations and set(violations[0].cycle) >= {1, 2}
+
+
+def test_inconsistent_read_is_a_two_cycle():
+    # The writer committed inside the reader's read window: the reader
+    # saw both pre- and post-state.
+    history = _history(
+        _tx(1, writes={0x100}, commit_seq=3),
+        _tx(2, reads=[(0x100, 1, 5)], commit_seq=6),
+    )
+    violations = check_serializability(history)
+    assert violations
+    assert sorted(set(violations[0].cycle)) == [1, 2]
+
+
+def test_reading_own_write_is_not_a_conflict():
+    history = _history(
+        _tx(1, reads=[(0x100, 1, 4)], writes={0x100}, commit_seq=5),
+    )
+    assert check_serializability(history) == []
+
+
+def test_waived_records_are_excluded():
+    cyclic = [
+        _tx(1, reads=[(0x100, 1, 1)], writes={0x100}, commit_seq=3),
+        _tx(2, reads=[(0x100, 2, 2)], writes={0x100}, commit_seq=4,
+            resumed=True),
+    ]
+    assert check_serializability(_history(*cyclic)) == []
+    assert check_serializability(_history(*cyclic), waive=False)
+    released = _tx(3, reads=[(0x200, 1, 9)], commit_seq=10, released=True)
+    assert released.waived
+
+
+def test_find_cycle_on_plain_graphs():
+    assert find_cycle({1: {2}, 2: {3}, 3: set()}) is None
+    cycle = find_cycle({1: {2}, 2: {3}, 3: {1}})
+    assert cycle[0] == cycle[-1]
+    assert set(cycle) == {1, 2, 3}
+    # Edges to nodes outside the filtered record set are ignored.
+    assert find_cycle({1: {99}}) is None
+
+
+def test_helper_oracles():
+    assert check_exact_count("fx", 3, 3) == []
+    assert check_exact_count("fx", 4, 3)[0].oracle == "compensation"
+    assert check_exact_count("fx", 2, 3, at_most=True) == []
+    assert check_invariant("inv", True) == []
+    assert check_invariant("inv", False, "broken")[0].oracle == "invariant"
+
+
+# ---------------------------------------------------------------------------
+# Recorded histories: nesting semantics
+# ---------------------------------------------------------------------------
+
+def _record_one_program(program_body):
+    """Run ``program_body(t, runtime, log, data)`` on one CPU and return
+    (history, log unit, data unit)."""
+    machine = Machine(functional_config(n_cpus=1))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    log = arena.alloc_word(0, isolate=True)
+    data = arena.alloc_word(0, isolate=True)
+
+    def program(t):
+        yield from program_body(t, runtime, log, data)
+
+    with HistoryRecorder(machine) as recorder:
+        runtime.spawn(program, cpu_id=0)
+        machine.run(max_cycles=1_000_000)
+    units = machine.htm.states[0].rwsets
+    return recorder.history, units.unit_of(log), units.unit_of(data)
+
+
+def test_open_commit_excluded_from_parent_footprint():
+    def body(t, runtime, log, data):
+        def log_op(t):
+            count = yield t.load(log)
+            yield t.store(log, count + 1)
+
+        def outer(t):
+            yield from runtime.atomic_open(t, log_op)
+            value = yield t.load(data)
+            yield t.store(data, value + 1)
+
+        yield from runtime.atomic(t, outer)
+
+    history, log_unit, data_unit = _record_one_program(body)
+    opens = history.of_kind("open")
+    outers = history.of_kind("outer")
+    assert len(opens) == 1 and len(outers) == 1
+    assert log_unit in opens[0].writes
+    assert log_unit in opens[0].reads
+    # The parent is not charged with the open child's footprint.
+    assert log_unit not in outers[0].writes
+    assert log_unit not in outers[0].reads
+    assert data_unit in outers[0].writes
+    # The open child committed first; both pass the oracle.
+    assert opens[0].commit_seq < outers[0].commit_seq
+    assert check_serializability(history) == []
+
+
+def test_closed_commit_absorbed_into_parent():
+    def body(t, runtime, log, data):
+        def inner(t):
+            value = yield t.load(log)
+            yield t.store(log, value + 1)
+
+        def outer(t):
+            yield from runtime.atomic(t, inner)   # closed-nested
+            yield t.store(data, 1)
+
+        yield from runtime.atomic(t, outer)
+
+    history, log_unit, data_unit = _record_one_program(body)
+    outers = history.of_kind("outer")
+    assert len(outers) == 1
+    assert history.of_kind("closed") == []   # no separate record
+    assert {log_unit, data_unit} <= outers[0].writes
+    assert log_unit in outers[0].reads
+
+
+def test_nontransactional_accesses_are_singleton_records():
+    def body(t, runtime, log, data):
+        yield t.store(log, 7)     # depth 0: a one-word commit
+        yield t.load(log)
+
+    history, log_unit, _ = _record_one_program(body)
+    nontx = history.of_kind("nontx")
+    assert len(nontx) == 2
+    writer, reader = nontx
+    assert writer.writes == {log_unit} and not writer.reads
+    assert reader.reads and not reader.writes
+    assert check_serializability(history) == []
