@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from repro.common.params import paper_config
+from repro.harness.bench import cmd_bench
 from repro.harness.experiment import compare_nesting, scaling_curve
 from repro.harness.profile import format_profiles, profile_machine
 from repro.harness.report import (
@@ -292,6 +293,22 @@ def build_parser():
                    help="comma-separated event kinds (default: all)")
     p.add_argument("--limit", type=int, default=60)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-regression bench: golden-cycle matrix + detector "
+             "speedup (writes BENCH_sim.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced matrix for CI (4-CPU column + flagship)")
+    p.add_argument("--out", default="BENCH_sim.json",
+                   help="result JSON path (default BENCH_sim.json)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="flagship repetitions, best-of (default 3)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail unless the flagship speedup reaches this")
+    p.add_argument("--update-golden", action="store_true",
+                   help="rewrite the golden cycle counts from this run")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "check",

@@ -4,11 +4,47 @@ Every component of the machine (engine, caches, bus, HTM, runtime) records
 into a shared :class:`Stats` tree so experiments can report cycle counts,
 hit rates, violation counts, and instruction overheads without the
 components knowing about each other.
+
+Counter names are dotted strings, but building them per increment
+(f-strings on the hot path) costs more than the increment itself.  Two
+mechanisms keep the name machinery off the hot path without changing any
+counter name:
+
+* :class:`StatsScope` caches each ``name -> "prefix.name"`` key it has
+  seen, so repeated ``scope.add("loads")`` calls never re-format;
+* :meth:`Stats.counter` / :meth:`StatsScope.counter` return a
+  :class:`BoundCounter` — a pre-resolved handle that increments the
+  underlying slot directly.  Components bind their per-CPU counters once
+  at construction and call ``counter.add()`` per event.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+
+
+class BoundCounter:
+    """A pre-bound handle onto one counter slot of a :class:`Stats` tree.
+
+    Holds the fully-resolved dotted key, so incrementing is a single
+    dict update with no string formatting.  The slot is created lazily
+    on the first :meth:`add`, exactly as a plain ``stats.add`` would.
+    """
+
+    __slots__ = ("_counters", "name")
+
+    def __init__(self, counters, name):
+        self._counters = counters
+        self.name = name
+
+    def add(self, amount=1):
+        self._counters[self.name] += amount
+
+    def get(self, default=0):
+        return self._counters.get(self.name, default)
+
+    def __repr__(self):
+        return f"BoundCounter({self.name!r}={self.get()})"
 
 
 class Stats:
@@ -33,6 +69,10 @@ class Stats:
     def get(self, name, default=0):
         """Read counter ``name``."""
         return self._counters.get(name, default)
+
+    def counter(self, name):
+        """A :class:`BoundCounter` onto ``name`` (hot-path increments)."""
+        return BoundCounter(self._counters, name)
 
     def scope(self, prefix):
         """Return a :class:`StatsScope` that prefixes all counter names."""
@@ -71,20 +111,35 @@ class Stats:
 
 
 class StatsScope:
-    """A prefixed view onto a :class:`Stats` tree."""
+    """A prefixed view onto a :class:`Stats` tree.
+
+    Fully-qualified keys are cached per scope, so a name is formatted at
+    most once per scope no matter how many times it is recorded.
+    """
 
     def __init__(self, stats, prefix):
         self._stats = stats
         self._prefix = prefix
+        self._keys = {}
+
+    def _key(self, name):
+        key = self._keys.get(name)
+        if key is None:
+            key = self._keys[name] = f"{self._prefix}.{name}"
+        return key
 
     def add(self, name, amount=1):
-        self._stats.add(f"{self._prefix}.{name}", amount)
+        self._stats.add(self._key(name), amount)
 
     def set(self, name, value):
-        self._stats.set(f"{self._prefix}.{name}", value)
+        self._stats.set(self._key(name), value)
 
     def get(self, name, default=0):
-        return self._stats.get(f"{self._prefix}.{name}", default)
+        return self._stats.get(self._key(name), default)
+
+    def counter(self, name):
+        """A :class:`BoundCounter` onto this scope's ``prefix.name``."""
+        return self._stats.counter(self._key(name))
 
     def scope(self, prefix):
-        return StatsScope(self._stats, f"{self._prefix}.{prefix}")
+        return StatsScope(self._stats, self._key(prefix))

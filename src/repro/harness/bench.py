@@ -1,0 +1,236 @@
+"""Performance-regression bench: ``python -m repro bench``.
+
+Two jobs in one harness (docs/performance.md):
+
+1. **Cycle-equality regression.**  Every cell of a fixed workload matrix
+   (kernels × lazy/eager detection × 2–16 CPUs) is simulated and its
+   cycle count compared for *exact* equality against the golden values
+   in ``bench_golden.json``.  The simulator is deterministic, so any
+   drift — however small — means an optimization changed observable
+   behaviour, which is a bug here, never a re-tuning.
+
+2. **Speedup measurement.**  The flagship cell runs the
+   detection-stress kernel (:mod:`repro.workloads.detstress`) on the
+   16-CPU eager machine twice: once with the indexed detectors and once
+   with ``naive_detection=True`` (the original full-scan reference
+   implementations).  Both must produce bit-for-bit identical cycles
+   and steps; the harness reports the steps/sec ratio.
+
+Wall-clock is measured per phase (setup / run / verify) and steps/sec is
+computed over the *run* phase only, from the engine's ``engine.steps``
+stat.  Results are written to ``BENCH_sim.json``.
+
+``--smoke`` runs a reduced matrix (the 4-CPU column plus the flagship)
+for CI; golden values are shared with the full matrix.  Regenerate the
+goldens with ``--update-golden`` after an *intentional* behaviour change
+(and say why in the commit).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.common.params import functional_config, paper_config
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.workloads import DetectionStressKernel, Mp3dKernel, SwimKernel
+
+#: Path of the golden cycle counts, next to this module.
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "bench_golden.json")
+
+#: The matrix axes.
+KERNELS = {"swim": SwimKernel, "mp3d": Mp3dKernel}
+DETECTIONS = ("lazy", "eager")
+CPU_COUNTS = (2, 4, 8, 16)
+SMOKE_CPU_COUNTS = (4,)
+
+#: The flagship cell: 16-CPU eager detection, deep nesting allowed.
+FLAGSHIP_ID = "detstress-eager-x16"
+FLAGSHIP_CPUS = 16
+
+
+def _flagship_config(naive):
+    return functional_config(
+        n_cpus=FLAGSHIP_CPUS, detection="eager", max_nesting=8,
+        naive_detection=naive)
+
+
+def matrix_cells(smoke=False):
+    """Yield (cell_id, workload factory, config factory) for the matrix."""
+    counts = SMOKE_CPU_COUNTS if smoke else CPU_COUNTS
+    for kernel_name, kernel_cls in sorted(KERNELS.items()):
+        for detection in DETECTIONS:
+            for n_cpus in counts:
+                cell_id = f"{kernel_name}-{detection}-x{n_cpus}"
+                yield (
+                    cell_id,
+                    lambda n=n_cpus, cls=kernel_cls: cls(n_threads=n),
+                    lambda n=n_cpus, d=detection: paper_config(
+                        n_cpus=n, detection=d),
+                )
+
+
+def run_cell(factory, config, max_cycles=2_000_000_000):
+    """Run one workload under ``config`` with per-phase timing.
+
+    Returns a dict with cycles, steps, per-phase seconds, and steps/sec
+    (over the run phase alone).
+    """
+    workload = factory()
+    machine = Machine(config)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+
+    t0 = time.perf_counter()
+    workload.setup(machine, runtime, arena)
+    t1 = time.perf_counter()
+    machine.run(max_cycles=max_cycles)
+    t2 = time.perf_counter()
+    workload.verify(machine)
+    t3 = time.perf_counter()
+
+    steps = machine.stats.get("engine.steps")
+    run_s = t2 - t1
+    return {
+        "cycles": machine.stats.get("cycles"),
+        "steps": steps,
+        "phases": {
+            "setup_s": round(t1 - t0, 6),
+            "run_s": round(run_s, 6),
+            "verify_s": round(t3 - t2, 6),
+        },
+        "steps_per_s": round(steps / run_s) if run_s > 0 else None,
+    }
+
+
+def run_flagship(repeat=3):
+    """Run the flagship cell under both detector implementations.
+
+    Each variant runs ``repeat`` times; the fastest run-phase wall time
+    wins (best-of-N smooths scheduler noise).  Cycles and steps must be
+    bit-for-bit identical across every run of both variants.
+    """
+    variants = {}
+    signature = None
+    for label, naive in (("indexed", False), ("naive", True)):
+        best = None
+        for _ in range(max(1, repeat)):
+            result = run_cell(
+                lambda: DetectionStressKernel(n_threads=FLAGSHIP_CPUS),
+                _flagship_config(naive))
+            sig = (result["cycles"], result["steps"])
+            if signature is None:
+                signature = sig
+            elif sig != signature:
+                raise BenchMismatch(
+                    f"{FLAGSHIP_ID} ({label}): cycles/steps {sig} diverge "
+                    f"from {signature} — the detector implementations are "
+                    "observably different")
+            if best is None or result["phases"]["run_s"] < best["phases"]["run_s"]:
+                best = result
+        variants[label] = best
+    speedup = (variants["indexed"]["steps_per_s"]
+               / variants["naive"]["steps_per_s"])
+    return {
+        "id": FLAGSHIP_ID,
+        "cycles": signature[0],
+        "steps": signature[1],
+        "indexed": variants["indexed"],
+        "naive": variants["naive"],
+        "speedup": round(speedup, 2),
+    }
+
+
+class BenchMismatch(AssertionError):
+    """A bench invariant (golden equality or detector parity) failed."""
+
+
+def load_golden():
+    if not os.path.exists(GOLDEN_PATH):
+        return {}
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def run_bench(smoke=False, repeat=3, update_golden=False,
+              min_speedup=0.0, report=print):
+    """Run the matrix + flagship; returns (results dict, list of errors)."""
+    golden = {} if update_golden else load_golden()
+    errors = []
+    cells = []
+    for cell_id, factory, config_factory in matrix_cells(smoke=smoke):
+        result = run_cell(factory, config_factory())
+        result["id"] = cell_id
+        expected = golden.get(cell_id)
+        result["golden_cycles"] = expected
+        result["ok"] = expected is None or result["cycles"] == expected
+        if expected is None and not update_golden:
+            errors.append(f"{cell_id}: no golden cycle count on record")
+        elif not result["ok"]:
+            errors.append(
+                f"{cell_id}: {result['cycles']} cycles != golden {expected}")
+        cells.append(result)
+        report(f"  {cell_id:<22} {result['cycles']:>9} cycles  "
+               f"{result['steps_per_s'] or 0:>8,} steps/s  "
+               f"{'ok' if result['ok'] else 'MISMATCH'}")
+
+    report(f"  {FLAGSHIP_ID}: indexed vs naive detectors "
+           f"(best of {repeat})...")
+    try:
+        flagship = run_flagship(repeat=repeat)
+    except BenchMismatch as exc:
+        errors.append(str(exc))
+        flagship = None
+    else:
+        expected = golden.get(FLAGSHIP_ID)
+        flagship["golden_cycles"] = expected
+        if expected is None and not update_golden:
+            errors.append(f"{FLAGSHIP_ID}: no golden cycle count on record")
+        elif expected is not None and flagship["cycles"] != expected:
+            errors.append(f"{FLAGSHIP_ID}: {flagship['cycles']} cycles != "
+                          f"golden {expected}")
+        report(f"  {FLAGSHIP_ID:<22} {flagship['cycles']:>9} cycles  "
+               f"indexed {flagship['indexed']['steps_per_s']:,} steps/s  "
+               f"naive {flagship['naive']['steps_per_s']:,} steps/s  "
+               f"speedup {flagship['speedup']}x")
+        if min_speedup and flagship["speedup"] < min_speedup:
+            errors.append(
+                f"{FLAGSHIP_ID}: speedup {flagship['speedup']}x below the "
+                f"required {min_speedup}x")
+
+    results = {
+        "smoke": smoke,
+        "repeat": repeat,
+        "cells": cells,
+        "flagship": flagship,
+        "ok": not errors,
+    }
+    if update_golden:
+        refreshed = dict(load_golden())
+        for cell in cells:
+            refreshed[cell["id"]] = cell["cycles"]
+        if flagship is not None:
+            refreshed[FLAGSHIP_ID] = flagship["cycles"]
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(refreshed, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        report(f"  wrote golden cycle counts to {GOLDEN_PATH}")
+    return results, errors
+
+
+def cmd_bench(args):
+    """Entry point for ``python -m repro bench``."""
+    print("bench: cycle-equality matrix + detector speedup")
+    results, errors = run_bench(
+        smoke=args.smoke, repeat=args.repeat,
+        update_golden=args.update_golden, min_speedup=args.min_speedup)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for error in errors:
+        print(f"bench FAILURE: {error}")
+    return 1 if errors else 0

@@ -135,7 +135,7 @@ def measure_overheads():
 
         yield from runtime.atomic(t, body)
         measured["rollback (no handlers)"] = \
-            machine.stats.get("cpu0.handler_instructions")
+            machine.cpus[0].handler_instructions
 
     def attacker(t):
         yield t.alu(100)

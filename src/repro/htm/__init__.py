@@ -11,6 +11,8 @@ from repro.htm.conflict import (
     STALL,
     EagerDetector,
     LazyDetector,
+    NaiveEagerDetector,
+    NaiveLazyDetector,
     Violation,
     make_detector,
 )
@@ -19,7 +21,7 @@ from repro.htm.nesting import (
     MultiTrackingScheme,
     make_nesting_scheme,
 )
-from repro.htm.rwset import RwSets
+from repro.htm.rwset import ConflictIndex, RwSets
 from repro.htm.system import (
     ABORTED,
     ACTIVE,
@@ -44,11 +46,14 @@ __all__ = [
     "COMMITTED",
     "CommitResult",
     "CommitToken",
+    "ConflictIndex",
     "EagerDetector",
     "HtmSystem",
     "LazyDetector",
     "LevelInfo",
     "MultiTrackingScheme",
+    "NaiveEagerDetector",
+    "NaiveLazyDetector",
     "PROCEED",
     "RwSets",
     "SELF_ABORT",

@@ -16,11 +16,24 @@ engine's job (it models the hardware jump to ``xvhcode``).
   requester stalls, and self-aborts if it would have to wait on a
   *validated* transaction or stalls too long).  A validated transaction is
   never violated (paper §6.1).
+
+Both detectors probe the machine-wide reverse
+:class:`~repro.htm.rwset.ConflictIndex` — ``unit -> per-CPU level
+masks`` — so an access costs O(actual owners of that unit), not
+O(n_cpus × nesting levels).  The original full-scan implementations are
+kept verbatim as :class:`NaiveLazyDetector` / :class:`NaiveEagerDetector`:
+they are the differential-testing reference (``tests/
+test_differential_detectors.py``) and the baseline the bench harness
+measures speedups against (``config.naive_detection`` selects them).
+Both pairs must produce bit-for-bit identical violation streams, cycle
+counts, and final memory images.
 """
 
 from __future__ import annotations
 
 import dataclasses
+
+from repro.common.params import REQUESTER_WINS
 
 
 #: Actions an eager check can demand of the requesting CPU.
@@ -31,6 +44,10 @@ SELF_ABORT = "self_abort"
 #: Retries before a stalling requester conservatively self-aborts
 #: (deadlock avoidance).
 STALL_LIMIT = 64
+
+#: Shared empty owner table: the indexed detectors' "nobody tracks this
+#: unit" answer, probed without allocating.
+_NOBODY = {}
 
 
 @dataclasses.dataclass
@@ -44,18 +61,21 @@ class Violation:
 
 
 class DetectorBase:
-    def __init__(self, config, states, stats):
+    def __init__(self, config, states, stats, index=None):
         self._config = config
         self._states = states   # list of per-CPU TxState
         self._stats = stats
+        self._index = index     # machine-wide ConflictIndex (may be None
+        #                         for the naive detectors)
         self._sink = None
+        self._n_posted = stats.counter("conflicts.posted")
 
     def attach_sink(self, sink):
         """``sink(Violation)`` delivers a violation to a victim CPU."""
         self._sink = sink
 
     def _post(self, victim, mask, addr, source):
-        self._stats.add("conflicts.posted")
+        self._n_posted.add()
         self._sink(Violation(victim=victim, mask=mask, addr=addr,
                              source=source))
 
@@ -73,8 +93,22 @@ class DetectorBase:
         non-transactional store in a strongly-atomic machine)."""
 
 
-class LazyDetector(DetectorBase):
-    """Commit-time detection against every other CPU's read-sets."""
+class LazyDetectorBase(DetectorBase):
+    """Shared post-ordering contract for the lazy detectors.
+
+    Violations are posted victim-major (ascending CPU id), and within a
+    victim unit-major (ascending unit address), so a re-invoked handler
+    sees each conflicting address in ``xvaddr`` (§4.6) in a fixed order.
+    Both implementations must honour it bit-for-bit.
+    """
+
+
+class NaiveLazyDetector(LazyDetectorBase):
+    """Commit-time detection scanning every other CPU's read-sets.
+
+    The O(n_cpus × written units) reference implementation: correct,
+    slow, and the oracle the indexed detector is diffed against.
+    """
 
     def on_commit(self, cpu_id, written_units):
         if not written_units:
@@ -90,12 +124,44 @@ class LazyDetector(DetectorBase):
                     self._post(victim_id, mask, unit, cpu_id)
 
 
-class EagerDetector(DetectorBase):
-    """Access-time detection against every other CPU's read/write-sets."""
+class LazyDetector(LazyDetectorBase):
+    """Commit-time detection through the reverse index.
 
-    def __init__(self, config, states, stats):
-        super().__init__(config, states, stats)
+    Probes only the units' actual readers.  Posting a violation never
+    mutates any read-set (delivery just latches the victim's violation
+    registers), so collecting all victims first and posting afterwards
+    is observably identical to the naive interleaved scan — as long as
+    the victim-major, unit-minor order is reproduced exactly.
+    """
+
+    def on_commit(self, cpu_id, written_units):
+        if not written_units:
+            return
+        readers = self._index.readers
+        per_victim = {}
+        for unit in sorted(written_units):
+            for victim_id, mask in readers.get(unit, _NOBODY).items():
+                if victim_id != cpu_id:
+                    per_victim.setdefault(victim_id, []).append((unit, mask))
+        for victim_id in sorted(per_victim):
+            for unit, mask in per_victim[victim_id]:
+                self._post(victim_id, mask, unit, cpu_id)
+
+
+class EagerDetectorBase(DetectorBase):
+    """Access-time detection: shared resolution policy.
+
+    Subclasses differ only in how they find the victims of an access;
+    resolution (who wins, who stalls, who self-aborts) is common.  The
+    victim list handed to :meth:`_resolve` must be in ascending CPU-id
+    order — resolution can return early, so the order is observable.
+    """
+
+    def __init__(self, config, states, stats, index=None):
+        super().__init__(config, states, stats, index)
         self._stall_counts = {}
+        self._n_stalls = stats.counter("conflicts.stalls")
+        self._n_self_aborts = stats.counter("conflicts.self_aborts")
 
     def _resolve(self, cpu_id, unit, victims):
         """Decide the fate of an access conflicting with ``victims``
@@ -108,8 +174,6 @@ class EagerDetector(DetectorBase):
         behaviour).  The access retries and proceeds once the victims'
         conflicting sets are gone.
         """
-        from repro.common.params import REQUESTER_WINS
-
         me = self._states[cpu_id]
         for victim_id, mask in victims:
             victim = self._states[victim_id]
@@ -138,10 +202,18 @@ class EagerDetector(DetectorBase):
         self._stall_counts[cpu_id] = count
         if count > STALL_LIMIT:
             self._stall_counts.pop(cpu_id, None)
-            self._stats.add("conflicts.self_aborts")
+            self._n_self_aborts.add()
             return SELF_ABORT
-        self._stats.add("conflicts.stalls")
+        self._n_stalls.add()
         return STALL
+
+
+class NaiveEagerDetector(EagerDetectorBase):
+    """Access-time detection scanning every other CPU's read/write-sets.
+
+    O(n_cpus × nesting levels) per transactional access — the reference
+    implementation the indexed detector is diffed and benched against.
+    """
 
     def on_load(self, cpu_id, unit):
         victims = []
@@ -152,7 +224,8 @@ class EagerDetector(DetectorBase):
             if mask:
                 victims.append((victim_id, mask))
         if not victims:
-            self._stall_counts.pop(cpu_id, None)
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
             return PROCEED
         return self._resolve(cpu_id, unit, victims)
 
@@ -165,7 +238,8 @@ class EagerDetector(DetectorBase):
             if mask:
                 victims.append((victim_id, mask))
         if not victims:
-            self._stall_counts.pop(cpu_id, None)
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
             return PROCEED
         return self._resolve(cpu_id, unit, victims)
 
@@ -174,10 +248,75 @@ class EagerDetector(DetectorBase):
         return None
 
 
-def make_detector(config, states, stats):
-    """Build the detector selected by ``config.detection``."""
+class EagerDetector(EagerDetectorBase):
+    """Access-time detection through the reverse index.
+
+    The overwhelmingly common case — nobody else tracks the unit — is a
+    single dictionary miss instead of a sweep over every CPU's sets.
+    The index's tables are probed directly (they are public attributes)
+    because even one bound-method call per access is measurable here.
+    """
+
+    def __init__(self, config, states, stats, index=None):
+        super().__init__(config, states, stats, index)
+        self._idx_readers = index.readers
+        self._idx_writers = index.writers
+
+    def on_load(self, cpu_id, unit):
+        writers = self._idx_writers.get(unit)
+        # Fast path: nobody (or only the requester itself) writes the
+        # unit — the overwhelmingly common outcome for private data.
+        if not writers or (len(writers) == 1 and cpu_id in writers):
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        victims = [(victim_id, writers[victim_id])
+                   for victim_id in sorted(writers) if victim_id != cpu_id]
+        if not victims:
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        return self._resolve(cpu_id, unit, victims)
+
+    def on_store(self, cpu_id, unit):
+        readers = self._idx_readers.get(unit) or _NOBODY
+        writers = self._idx_writers.get(unit) or _NOBODY
+        if ((not readers or (len(readers) == 1 and cpu_id in readers))
+                and (not writers
+                     or (len(writers) == 1 and cpu_id in writers))):
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        victims = [
+            (victim_id,
+             readers.get(victim_id, 0) | writers.get(victim_id, 0))
+            for victim_id in sorted(readers.keys() | writers.keys())
+            if victim_id != cpu_id
+        ]
+        if not victims:
+            if self._stall_counts:
+                self._stall_counts.pop(cpu_id, None)
+            return PROCEED
+        return self._resolve(cpu_id, unit, victims)
+
+    def on_commit(self, cpu_id, written_units):
+        # All conflicts were resolved at access time.  Nothing to do.
+        return None
+
+
+def make_detector(config, states, stats, index=None):
+    """Build the detector selected by ``config.detection``.
+
+    The indexed detectors need the machine-wide reverse index; without
+    one (bare construction in unit tests), or when
+    ``config.naive_detection`` asks for the reference path, the naive
+    full-scan detectors are used instead.
+    """
     from repro.common.params import LAZY
 
+    naive = index is None or getattr(config, "naive_detection", False)
     if config.detection == LAZY:
-        return LazyDetector(config, states, stats)
-    return EagerDetector(config, states, stats)
+        cls = NaiveLazyDetector if naive else LazyDetector
+    else:
+        cls = NaiveEagerDetector if naive else EagerDetector
+    return cls(config, states, stats, index)

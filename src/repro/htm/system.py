@@ -12,10 +12,10 @@ from __future__ import annotations
 import dataclasses
 
 from repro.common.errors import CapacityAbort, IsaError
-from repro.common.params import LAZY
+from repro.common.params import LAZY, LINE
 from repro.htm.conflict import PROCEED, make_detector
 from repro.htm.nesting import NestingSchemeBase, make_nesting_scheme
-from repro.htm.rwset import RwSets
+from repro.htm.rwset import ConflictIndex, RwSets
 from repro.htm.versioning import make_version_manager
 
 #: Transaction status values held in ``xstatus`` (paper Table 1).
@@ -48,11 +48,13 @@ class CommitResult:
 class TxState:
     """All transactional hardware state of one CPU."""
 
-    def __init__(self, cpu_id, config, memory, stats):
+    def __init__(self, cpu_id, config, memory, stats, index=None):
         self.cpu_id = cpu_id
         scope = stats.scope(f"cpu{cpu_id}.htm")
         self.stats = scope
-        self.rwsets = RwSets(config)
+        self._n_loads = scope.counter("loads")
+        self._n_stores = scope.counter("stores")
+        self.rwsets = RwSets(config, index=index, cpu_id=cpu_id)
         self.versions = make_version_manager(config, memory, scope)
         self.nesting = make_nesting_scheme(config, scope)
         self.levels = []          # stack of LevelInfo, index 0 = level 1
@@ -81,11 +83,20 @@ class HtmSystem:
         self.config = config
         self.memory = memory
         self.stats = stats
+        #: Machine-wide reverse conflict index (unit -> per-CPU level
+        #: masks), maintained by every CPU's RwSets and probed by the
+        #: indexed detectors.
+        self.index = ConflictIndex()
         self.states = [
-            TxState(cpu_id, config, memory, stats)
+            TxState(cpu_id, config, memory, stats, self.index)
             for cpu_id in range(config.n_cpus)
         ]
-        self.detector = make_detector(config, self.states, stats.scope("htm"))
+        self.detector = make_detector(config, self.states,
+                                      stats.scope("htm"), self.index)
+        # Unit mapping, inlined into load/store: the per-access method
+        # chain (rwsets.unit_of -> addr.line_of) is measurable there.
+        self._line_units = config.granularity == LINE
+        self._line_size = config.line_size
         self._next_txid = 1
         #: CPU holding machine-wide serial mode (the virtualization
         #: fallback hook), or None.
@@ -136,28 +147,28 @@ class HtmSystem:
     def load(self, cpu_id, addr):
         """Transactional load.  Returns (action, value)."""
         state = self.states[cpu_id]
-        level = state.depth()
-        unit = state.rwsets.unit_of(addr)
+        level = len(state.levels)
+        unit = (addr - addr % self._line_size) if self._line_units else addr
         action = self.detector.on_load(cpu_id, unit)
         if action != PROCEED:
             return action, None
         if level >= 1:
-            state.rwsets.add_read(level, addr)
+            state.rwsets.add_read_unit(level, unit)
             state.nesting.note_access(level, addr, NestingSchemeBase.READ)
         value = state.versions.tx_load(level, addr)
-        state.stats.add("loads")
+        state._n_loads.add()
         return PROCEED, value
 
     def store(self, cpu_id, addr, value):
         """Transactional store.  Returns the detector action."""
         state = self.states[cpu_id]
-        level = state.depth()
-        unit = state.rwsets.unit_of(addr)
+        level = len(state.levels)
+        unit = (addr - addr % self._line_size) if self._line_units else addr
         action = self.detector.on_store(cpu_id, unit)
         if action != PROCEED:
             return action
         if level >= 1:
-            state.rwsets.add_write(level, addr)
+            state.rwsets.add_write_unit(level, unit)
             state.nesting.note_access(level, addr, NestingSchemeBase.WRITE)
             state.versions.tx_store(level, addr, value)
         else:
@@ -167,7 +178,7 @@ class HtmSystem:
             self.memory.write(addr, value)
             if self.config.detection == LAZY:
                 self.detector.on_commit(cpu_id, {unit})
-        state.stats.add("stores")
+        state._n_stores.add()
         return PROCEED
 
     def im_load(self, cpu_id, addr):

@@ -129,17 +129,26 @@ class WriteBufferVersioning(VersionManagerBase):
     def __init__(self, config, memory, stats):
         super().__init__(config, memory, stats)
         self._buffers = {}  # level -> {word addr: value}
+        # Active levels in descending order, maintained on begin/commit/
+        # rollback so the per-load lookup never sorts (hot path).
+        self._levels_desc = []
+        self._n_stores = stats.counter("wbuf.stores")
+
+    def _relevel(self):
+        self._levels_desc = sorted(self._buffers, reverse=True)
 
     def begin_level(self, level):
         self._buffers[level] = {}
+        self._relevel()
 
     def tx_load(self, level, addr):
         check_word_aligned(addr)
         # Innermost buffered version wins; fall through to memory.
-        for lvl in sorted(self._buffers, reverse=True):
+        buffers = self._buffers
+        for lvl in self._levels_desc:
             if lvl > level:
                 continue
-            buffer = self._buffers[lvl]
+            buffer = buffers[lvl]
             if addr in buffer:
                 return buffer[addr]
         return self._memory.read(addr)
@@ -147,10 +156,11 @@ class WriteBufferVersioning(VersionManagerBase):
     def tx_store(self, level, addr, value):
         check_word_aligned(addr)
         self._buffers[level][addr] = value
-        self._stats.add("wbuf.stores")
+        self._n_stores.add()
 
     def commit_closed(self, level):
         child = self._buffers.pop(level)
+        self._relevel()
         parent_level = level - 1
         if parent_level in self._buffers:
             self._buffers[parent_level].update(child)
@@ -160,6 +170,7 @@ class WriteBufferVersioning(VersionManagerBase):
 
     def commit_to_memory(self, level, written_units=None):
         child = self._buffers.pop(level)
+        self._relevel()
         for addr, value in child.items():
             self._memory.write(addr, value)
         # Open-nested commit semantics (paper §4.5/§6.3.2): ancestors with
@@ -178,6 +189,7 @@ class WriteBufferVersioning(VersionManagerBase):
 
     def rollback(self, level):
         dropped = self._buffers.pop(level, {})
+        self._relevel()
         restored = self._rollback_im(level)
         self._stats.add("wbuf.rolled_back_words", len(dropped))
         return len(dropped) + restored
@@ -200,6 +212,7 @@ class UndoLogVersioning(VersionManagerBase):
         self._log = []          # list[UndoEntry], push order
         self._logged = set()    # (level, word addr) already logged
         self._level_writes = {}  # level -> set of word addrs written
+        self._n_stores = stats.counter("undolog.stores")
 
     def begin_level(self, level):
         self._level_writes[level] = set()
@@ -227,7 +240,7 @@ class UndoLogVersioning(VersionManagerBase):
             self._logged.add((level, addr, "tx"))
         self._level_writes[level].add(addr)
         self._memory.write(addr, value)
-        self._stats.add("undolog.stores")
+        self._n_stores.add()
 
     def commit_closed(self, level):
         parent = level - 1

@@ -25,6 +25,8 @@ architecture:
 
 from __future__ import annotations
 
+import heapq
+
 from repro.common.errors import (
     CapacityAbort,
     DeadlockError,
@@ -68,6 +70,29 @@ class Machine:
         self.htm.attach_violation_sink(self._on_violation)
         self.now = 0
         self._capacity_retries = [0] * config.n_cpus
+        #: Heap-backed ready queue: (resume_at, cpu_id) entries, kept for
+        #: the deterministic policy so picking the next CPU is O(log n)
+        #: instead of a full scan.  Entries go stale when a CPU's state
+        #: or resume_at changes; _pop_ready discards them lazily.
+        self._ready = []
+        self._use_heap = bool(getattr(self.policy, "uses_ready_heap", False))
+        #: Non-daemon programs still bound to a CPU; the run loop ends
+        #: when this reaches zero (replaces the per-step all-CPUs scan).
+        self._live_programs = 0
+        # Pre-bound per-CPU counters for the dispatch/outcome hot paths
+        # (same counter names as before, resolved once instead of an
+        # f-string per event).
+        self._n_resumes = [
+            cpu.stats.counter("htm.handler_resumes") for cpu in self.cpus]
+        self._n_rollbacks = [
+            cpu.stats.counter("htm.handler_rollbacks") for cpu in self.cpus]
+        self._n_dispatches = {
+            kind: [cpu.stats.counter(f"htm.dispatches_{kind}")
+                   for cpu in self.cpus]
+            for kind in ("violation", "abort")
+        }
+        self._n_capacity_aborts = [
+            cpu.stats.counter("htm.capacity_aborts") for cpu in self.cpus]
 
     # ------------------------------------------------------------------
     # Setup
@@ -100,6 +125,10 @@ class Machine:
         cpu.state = RUNNABLE
         cpu.resume_at = 0
         cpu.daemon = daemon
+        if not daemon:
+            self._live_programs += 1
+        if self._use_heap:
+            heapq.heappush(self._ready, (cpu.resume_at, cpu.cpu_id))
         return cpu
 
     # ------------------------------------------------------------------
@@ -117,6 +146,8 @@ class Machine:
         if cpu.state == WAITING:
             cpu.state = RUNNABLE
             cpu.resume_at = max(cpu.resume_at, self.now + 1)
+            if self._use_heap:
+                heapq.heappush(self._ready, (cpu.resume_at, cpu.cpu_id))
         elif cpu.state == RUNNABLE:
             cpu.wake_tokens += 1
 
@@ -131,24 +162,45 @@ class Machine:
         :class:`~repro.common.errors.DeadlockError` if all live threads
         are waiting, and :class:`SimulationError` on cycle overrun.
         """
-        steps = 0
-        while True:
-            if all(cpu.state == DONE or cpu.daemon
-                   for cpu in self.cpus if cpu.frames):
-                break
-            runnable = [
-                cpu for cpu in self.cpus
+        # The deterministic policy's (resume_at, cpu_id) pick is exactly
+        # the heap order, so the engine short-circuits policy.choose with
+        # a pop; randomized policies still see the full runnable list.
+        use_heap = self._use_heap = bool(
+            getattr(self.policy, "uses_ready_heap", False))
+        if use_heap:
+            self._ready = [
+                (cpu.resume_at, cpu.cpu_id) for cpu in self.cpus
                 if cpu.frames and cpu.state == RUNNABLE
             ]
-            if not runnable:
+            heapq.heapify(self._ready)
+        try:
+            return self._run_loop(use_heap, max_cycles, max_steps)
+        finally:
+            # Plain-attribute hot counters become visible stats even when
+            # the run ends in DeadlockError/SimulationError.
+            for cpu in self.cpus:
+                cpu.flush_stats()
+
+    def _run_loop(self, use_heap, max_cycles, max_steps):
+        steps = 0
+        while self._live_programs > 0:
+            if use_heap:
+                cpu = self._pop_ready()
+            else:
+                runnable = [
+                    cpu for cpu in self.cpus
+                    if cpu.frames and cpu.state == RUNNABLE
+                ]
+                cpu = self.policy.choose(runnable) if runnable else None
+            if cpu is None:
                 waiting = [
                     cpu.cpu_id for cpu in self.cpus
                     if cpu.frames and cpu.state == WAITING and not cpu.daemon
                 ]
                 raise DeadlockError(
                     f"all threads waiting at cycle {self.now}: {waiting}")
-            cpu = self.policy.choose(runnable)
-            self.now = max(self.now, cpu.resume_at)
+            if cpu.resume_at > self.now:
+                self.now = cpu.resume_at
             if self.now > max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles")
@@ -156,11 +208,35 @@ class Machine:
             if max_steps is not None and steps > max_steps:
                 raise SimulationError(f"simulation exceeded {max_steps} steps")
             self._step(cpu)
+            if use_heap and cpu.state == RUNNABLE and cpu.frames:
+                heapq.heappush(self._ready, (cpu.resume_at, cpu.cpu_id))
         self.stats.set("cycles", self.now)
+        self.stats.add("engine.steps", steps)
         for failed in self.cpus:
             if failed.failure is not None:
                 raise failed.failure
         return self.now
+
+    def _pop_ready(self):
+        """Pop the earliest valid (resume_at, cpu_id) ready entry.
+
+        Entries are pushed whenever a CPU becomes runnable or changes
+        its resume_at; superseded entries are detected here (the CPU is
+        no longer runnable, or its resume_at moved) and dropped.  A
+        matching entry is always the deterministic policy's choice:
+        every runnable CPU has an up-to-date entry, so the heap minimum
+        that matches equals the minimum over all runnable CPUs.
+        Returns None when no runnable CPU remains.
+        """
+        ready = self._ready
+        cpus = self.cpus
+        while ready:
+            resume_at, cpu_id = heapq.heappop(ready)
+            cpu = cpus[cpu_id]
+            if (cpu.state == RUNNABLE and cpu.frames
+                    and cpu.resume_at == resume_at):
+                return cpu
+        return None
 
     # ------------------------------------------------------------------
 
@@ -171,12 +247,11 @@ class Machine:
         # handler is not recursively interrupted unless it deliberately
         # re-enables reporting (xenviolrep before an open-nested
         # transaction, paper footnote 1).
-        deliverable = (cpu.isa.viol_reporting and cpu.isa.has_deliverable()
-                       and cpu.throw_exc is None)
         if cpu.pending_abort and cpu.throw_exc is None:
             cpu.pending_abort = False
             self._push_dispatcher(cpu, kind="abort")
-        elif deliverable:
+        elif (cpu.isa.viol_reporting and cpu.throw_exc is None
+                and cpu.isa.has_deliverable()):
             # A stalled operation (e.g. waiting for the commit token) that
             # gets overtaken by a violation stays parked: it re-issues if
             # the handler resumes, and is dropped by the rollback path.
@@ -211,7 +286,8 @@ class Machine:
             return
         self._capacity_retries[cpu.cpu_id] = 0
         cpu.send_value = outcome.value
-        cpu.resume_at = self.now + max(1, outcome.latency)
+        latency = outcome.latency
+        cpu.resume_at = self.now + (latency if latency > 1 else 1)
         if outcome.deschedule:
             cpu.state = WAITING
 
@@ -280,6 +356,8 @@ class Machine:
         cpu.frames = []
         cpu.result = value
         cpu.state = DONE
+        if not cpu.daemon:
+            self._live_programs -= 1
         if self.htm.depth(cpu.cpu_id):
             cpu.failure = SimulationError(
                 f"cpu {cpu.cpu_id} finished inside an open transaction "
@@ -297,9 +375,9 @@ class Machine:
         # handler at the next instruction boundary (§4.6).
         cpu.isa.viol_reporting = True
         if outcome.kind == "resume":
-            self.stats.add(f"cpu{cpu.cpu_id}.htm.handler_resumes")
+            self._n_resumes[cpu.cpu_id].add()
             return
-        self.stats.add(f"cpu{cpu.cpu_id}.htm.handler_rollbacks")
+        self._n_rollbacks[cpu.cpu_id].add()
         # The frame receives an exception, not a value; drop its parked
         # op and any saved op result.
         cpu.parked.pop(len(cpu.frames) - 1, None)
@@ -310,7 +388,7 @@ class Machine:
 
     def _push_dispatcher(self, cpu, kind):
         isa = cpu.isa
-        isa.xvpc = cpu.stats.get("instructions")
+        isa.xvpc = cpu.icount
         isa.viol_reporting = False
         # Save the interrupted frame's violation registers and pending op
         # result; both are restored when the dispatcher resumes it.
@@ -328,11 +406,11 @@ class Machine:
         cpu.send_value = None
         cpu.frames.append(factory(cpu))
         cpu.dispatch_depth += 1
-        self.stats.add(f"cpu{cpu.cpu_id}.htm.dispatches_{kind}")
+        self._n_dispatches[kind][cpu.cpu_id].add()
 
     def _handle_capacity_abort(self, cpu, overflow):
         self._capacity_retries[cpu.cpu_id] += 1
-        self.stats.add(f"cpu{cpu.cpu_id}.htm.capacity_aborts")
+        self._n_capacity_aborts[cpu.cpu_id].add()
         if self._capacity_retries[cpu.cpu_id] > CAPACITY_RETRY_LIMIT:
             cpu.failure = SimulationError(
                 f"cpu {cpu.cpu_id}: transaction exceeds hardware capacity "
@@ -356,6 +434,8 @@ class Machine:
         cpu.resume_at = self.now + 1
 
     def _kill(self, cpu):
+        if cpu.frames and not cpu.daemon:
+            self._live_programs -= 1
         for frame in reversed(cpu.frames):
             frame.close()
         cpu.frames = []

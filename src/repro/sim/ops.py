@@ -31,14 +31,14 @@ class Op:
 # Memory operations
 # ---------------------------------------------------------------------------
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Load(Op):
     """Transactional load: value returned, address added to the read-set."""
 
     addr: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Store(Op):
     """Transactional store: buffered/logged, address added to write-set."""
 
@@ -46,7 +46,7 @@ class Store(Op):
     value: object
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ImLoad(Op):
     """Immediate load (``imld``): bypasses the read-set.
 
@@ -56,7 +56,7 @@ class ImLoad(Op):
     addr: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ImStore(Op):
     """Immediate store (``imst``): writes memory now, bypasses the
     write-set, but keeps undo information so a rollback restores it."""
@@ -65,7 +65,7 @@ class ImStore(Op):
     value: object
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ImStoreId(Op):
     """Idempotent immediate store (``imstid``): like ``imst`` but keeps no
     undo information; survives rollbacks."""
@@ -74,7 +74,7 @@ class ImStoreId(Op):
     value: object
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Release(Op):
     """Early release: drop ``addr`` from the current read-set."""
 
@@ -85,7 +85,7 @@ class Release(Op):
 # Transaction-definition instructions (paper Table 2)
 # ---------------------------------------------------------------------------
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XBegin(Op):
     """Checkpoint registers and start a (closed-nested) transaction.
 
@@ -95,17 +95,17 @@ class XBegin(Op):
     open: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XValidate(Op):
     """Verify atomicity of the current transaction; status -> validated."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XCommit(Op):
     """Atomically commit the current transaction."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XAbort(Op):
     """Abort the current transaction and dispatch the abort handler.
 
@@ -120,7 +120,7 @@ class XAbort(Op):
 # State and handler management instructions
 # ---------------------------------------------------------------------------
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XRwSetClear(Op):
     """Discard the read- and write-set and speculative data at ``level``
     (default: the current level) and every deeper level, and clear the
@@ -135,7 +135,7 @@ class XRwSetClear(Op):
     level: object = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XRegRestore(Op):
     """Restore the register checkpoint of the current transaction.
 
@@ -147,19 +147,19 @@ class XRegRestore(Op):
     """
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XVRet(Op):
     """Return from a violation/abort handler: re-enable violation
     reporting and jump to ``xvpc``.  Only valid inside a dispatcher."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XEnViolRep(Op):
     """Re-enable violation reporting (used before open-nested transactions
     inside handlers, see paper footnote 1)."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class XVClear(Op):
     """Acknowledge handled conflicts: clear ``mask`` bits (default: all)
     from ``xvcurrent`` without touching the read-/write-sets.
@@ -178,7 +178,7 @@ class XVClear(Op):
 # Engine operations (not ISA; model CPU-local work and the OS substrate)
 # ---------------------------------------------------------------------------
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Alu(Op):
     """``cycles`` of non-memory computation (CPI = 1 per the paper, so this
     also counts as ``cycles`` dynamic instructions)."""
@@ -186,7 +186,7 @@ class Alu(Op):
     cycles: int = 1
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class YieldCpu(Op):
     """Deschedule this thread until another thread wakes it.
 
@@ -196,19 +196,19 @@ class YieldCpu(Op):
     """
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Wake(Op):
     """Wake thread ``cpu_id`` (models an inter-processor interrupt)."""
 
     cpu_id: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Fence(Op):
     """One-cycle ordering point; useful for timing markers in tests."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SerialAcquire(Op):
     """Try to acquire machine-wide serial mode: while held, no other CPU
     can validate/commit a publishing transaction.
@@ -222,7 +222,7 @@ class SerialAcquire(Op):
     """
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SerialRelease(Op):
     """Release serial mode (must be held by this CPU)."""
 

@@ -61,6 +61,12 @@ class SchedulePolicy:
     #: Registry name (see :func:`make_policy`).
     name = "abstract"
 
+    #: True if the engine may serve this policy from its heap-backed
+    #: ready queue instead of calling :meth:`choose` with a freshly
+    #: scanned runnable list.  Only valid when the policy's pick is
+    #: exactly min-(resume_at, cpu_id) — the heap's order.
+    uses_ready_heap = False
+
     def choose(self, runnable):
         """Return one CPU from the non-empty list ``runnable``."""
         raise NotImplementedError
@@ -73,9 +79,15 @@ class SchedulePolicy:
 class DeterministicPolicy(SchedulePolicy):
     """The engine's historical schedule: smallest local time wins, ties
     break by CPU id.  Bit-for-bit identical to the inlined tie-break the
-    engine shipped with; the golden-number tests pin this."""
+    engine shipped with; the golden-number tests pin this.
+
+    ``uses_ready_heap`` lets the engine serve this order from its
+    (resume_at, cpu_id) heap in O(log n) rather than scanning every CPU
+    per step; :meth:`choose` remains the executable specification (the
+    equivalence test in tests/test_schedule_policies.py runs both)."""
 
     name = "det"
+    uses_ready_heap = True
 
     def choose(self, runnable):
         return min(runnable, key=lambda cpu: (cpu.resume_at, cpu.cpu_id))

@@ -2,6 +2,7 @@
 
 from repro.workloads.base import Workload
 from repro.workloads.condsync_bench import CondSyncWorkload
+from repro.workloads.detstress import DetectionStressKernel
 from repro.workloads.iobench import IoLogWorkload
 from repro.workloads.jbb import JbbWorkload
 from repro.workloads.kernels import (
@@ -19,6 +20,7 @@ from repro.workloads.kernels import (
 __all__ = [
     "BarnesKernel",
     "CondSyncWorkload",
+    "DetectionStressKernel",
     "IoLogWorkload",
     "FmmKernel",
     "JbbWorkload",

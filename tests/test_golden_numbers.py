@@ -48,3 +48,56 @@ def test_determinism_of_golden_runs():
     second = Mp3dKernel(n_threads=4).run(
         paper_config(n_cpus=4)).stats.get("cycles")
     assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Exact pins (no tolerance band)
+# ---------------------------------------------------------------------------
+#
+# Unlike the ±25% bands above, these cells must match the bench goldens
+# *exactly*: the hot-path optimizations (reverse conflict index, scoped
+# counters, heap-backed ready queue — see docs/performance.md) promise to
+# change no observable cycle, so any scheduler/stats/detector change that
+# perturbs a schedule fails loudly here.  Refresh with
+# ``python -m repro bench --update-golden`` only for an *intentional*
+# behaviour change, and say why in the commit.
+
+EXACT_CELLS = [
+    ("swim-lazy-x4",
+     lambda: SwimKernel(n_threads=4), dict(n_cpus=4, detection="lazy")),
+    ("mp3d-eager-x4",
+     lambda: Mp3dKernel(n_threads=4), dict(n_cpus=4, detection="eager")),
+]
+
+
+@pytest.mark.parametrize("cell_id,factory,overrides",
+                         EXACT_CELLS, ids=[c[0] for c in EXACT_CELLS])
+def test_exact_cycle_pins_match_bench_goldens(cell_id, factory, overrides):
+    from repro.harness.bench import load_golden
+
+    golden = load_golden()
+    assert cell_id in golden, (
+        f"{cell_id} missing from bench_golden.json; run "
+        "`python -m repro bench --update-golden`")
+    machine = factory().run(paper_config(**overrides))
+    assert machine.stats.get("cycles") == golden[cell_id]
+
+
+def test_exact_cycle_pin_flagship_detstress():
+    """The bench flagship (16-CPU eager, deep nesting) pinned exactly,
+    on the indexed-detector path the simulator always uses."""
+    from repro.harness.bench import (
+        FLAGSHIP_CPUS,
+        FLAGSHIP_ID,
+        _flagship_config,
+        load_golden,
+        run_cell,
+    )
+    from repro.workloads import DetectionStressKernel
+
+    golden = load_golden()
+    assert FLAGSHIP_ID in golden
+    result = run_cell(
+        lambda: DetectionStressKernel(n_threads=FLAGSHIP_CPUS),
+        _flagship_config(naive=False))
+    assert result["cycles"] == golden[FLAGSHIP_ID]

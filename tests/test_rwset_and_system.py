@@ -83,6 +83,30 @@ class TestRwSets:
         assert sets.all_reads() == {sets.unit_of(A)}
         assert sets.all_writes() == {sets.unit_of(OTHER_LINE)}
 
+    def test_views_are_frozen_and_stable(self):
+        """reads_at/writes_at hand out frozen *copies*: callers can
+        neither mutate the tracking state through the view, nor see it
+        change under them after a later merge/discard (regression for
+        the internal-set leak)."""
+        sets = self.make()
+        sets.open_level(1)
+        sets.open_level(2)
+        sets.add_read(2, A)
+        sets.add_write(2, OTHER_LINE)
+        reads_view = sets.reads_at(2)
+        writes_view = sets.writes_at(2)
+        assert isinstance(reads_view, frozenset)
+        assert isinstance(writes_view, frozenset)
+        with pytest.raises(AttributeError):
+            reads_view.add(sets.unit_of(OTHER_LINE))
+        sets.merge_into_parent(2)
+        # The views captured at level 2 are unchanged by the merge...
+        assert reads_view == {sets.unit_of(A)}
+        assert writes_view == {sets.unit_of(OTHER_LINE)}
+        # ...and the tracking state they were taken from is intact.
+        assert sets.reads_at(1) == {sets.unit_of(A)}
+        assert sets.writes_at(1) == {sets.unit_of(OTHER_LINE)}
+
 
 class TestHtmSystemStateMachine:
     def make(self, **over):

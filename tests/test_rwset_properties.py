@@ -14,7 +14,7 @@ pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
 from repro.common.params import LINE, WORD, functional_config  # noqa: E402
-from repro.htm.rwset import RwSets  # noqa: E402
+from repro.htm.rwset import ConflictIndex, RwSets  # noqa: E402
 
 #: Word-aligned addresses in a small pool, so collisions are common.
 ADDRS = st.integers(min_value=0, max_value=31).map(lambda i: i * 8)
@@ -118,3 +118,108 @@ def test_line_granularity_collapses_addresses_within_a_line(addrs):
         rwsets.add_read(1, addr)
     expected = {addr - addr % config.line_size for addr in addrs}
     assert rwsets.reads_at(1) == expected
+
+
+# ---------------------------------------------------------------------------
+# Reverse conflict index consistency
+# ---------------------------------------------------------------------------
+#
+# The detectors never look at the per-CPU sets any more — they probe the
+# machine-wide ConflictIndex.  Its contract: after *any* interleaving of
+# mutations across CPUs, every mask it answers equals the one recomputed
+# from the per-level sets from scratch, and it tracks no stale units.
+
+#: One mutation step: (op name, address).  The interpreter below drops
+#: steps that are illegal in the current state (e.g. merge at depth 1),
+#: so any generated sequence is a valid history.
+OP_NAMES = ("open", "read", "write", "release", "merge", "discard",
+            "discard_all")
+OP_SEQS = st.lists(
+    st.tuples(st.sampled_from(OP_NAMES), ADDRS), min_size=1, max_size=50)
+
+N_CPUS = 3
+
+
+def _apply_ops(ops, granularity=WORD):
+    """Interpret an op sequence round-robin across N_CPUS CPUs sharing
+    one ConflictIndex; return (index, per-CPU RwSets)."""
+    config = functional_config(granularity=granularity)
+    index = ConflictIndex()
+    rwsets = [RwSets(config, index=index, cpu_id=cpu)
+              for cpu in range(N_CPUS)]
+    depth = [0] * N_CPUS
+    for step, (op, addr) in enumerate(ops):
+        cpu = step % N_CPUS
+        sets = rwsets[cpu]
+        if op == "open":
+            depth[cpu] += 1
+            sets.open_level(depth[cpu])
+        elif depth[cpu] == 0:
+            continue
+        elif op == "read":
+            sets.add_read(depth[cpu], addr)
+        elif op == "write":
+            sets.add_write(depth[cpu], addr)
+        elif op == "release":
+            sets.release(depth[cpu], addr)
+        elif op == "merge" and depth[cpu] >= 2:
+            sets.merge_into_parent(depth[cpu])
+            depth[cpu] -= 1
+        elif op == "discard":
+            sets.discard(depth[cpu])
+            depth[cpu] -= 1
+        elif op == "discard_all":
+            sets.discard_all()
+            depth[cpu] = 0
+    return index, rwsets
+
+
+@settings(deadline=None)
+@given(OP_SEQS, st.sampled_from([WORD, LINE]))
+def test_index_masks_equal_recomputed_masks(ops, granularity):
+    """For every (cpu, unit), the index's answer is exactly the mask
+    recomputed by scanning that CPU's per-level sets."""
+    index, rwsets = _apply_ops(ops, granularity)
+    units = index.tracked_units()
+    for sets in rwsets:
+        units |= sets.all_reads() | sets.all_writes()
+    for cpu, sets in enumerate(rwsets):
+        for unit in units:
+            assert index.read_mask(cpu, unit) == sets.levels_reading(unit)
+            assert index.write_mask(cpu, unit) == sets.levels_writing(unit)
+
+
+@settings(deadline=None)
+@given(OP_SEQS)
+def test_index_owner_tables_match_per_cpu_state(ops):
+    """readers_of/writers_of list exactly the CPUs with a nonzero mask —
+    no missing owners and no stale entries (pruning is exact)."""
+    index, rwsets = _apply_ops(ops)
+    units = index.tracked_units()
+    for sets in rwsets:
+        units |= sets.all_reads() | sets.all_writes()
+    for unit in units:
+        expected_readers = {
+            cpu: sets.levels_reading(unit)
+            for cpu, sets in enumerate(rwsets) if sets.levels_reading(unit)}
+        expected_writers = {
+            cpu: sets.levels_writing(unit)
+            for cpu, sets in enumerate(rwsets) if sets.levels_writing(unit)}
+        assert dict(index.readers_of(unit)) == expected_readers
+        assert dict(index.writers_of(unit)) == expected_writers
+        if not expected_readers and not expected_writers:
+            assert unit not in index.tracked_units(), (
+                f"unit {unit:#x} is stale in the index")
+
+
+@settings(deadline=None)
+@given(OP_SEQS)
+def test_discard_all_empties_the_cpu_out_of_the_index(ops):
+    """After every CPU discards everything, the index is empty — nothing
+    leaks across transaction lifetimes."""
+    index, rwsets = _apply_ops(ops)
+    for sets in rwsets:
+        sets.discard_all()
+    assert index.tracked_units() == set()
+    assert index.readers == {}
+    assert index.writers == {}

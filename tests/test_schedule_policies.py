@@ -72,6 +72,23 @@ def test_deterministic_choice_is_earliest_then_lowest_id():
     assert policy.choose(cpus).cpu_id == 1
 
 
+def test_heap_and_scan_schedules_are_bit_for_bit_identical():
+    """The engine serves DeterministicPolicy from its (resume_at, cpu_id)
+    ready heap; ``choose`` remains the executable specification.  Forcing
+    the scan path (``uses_ready_heap = False``) must reproduce the exact
+    same run — cycles and results both."""
+
+    class ScanningDeterministicPolicy(DeterministicPolicy):
+        uses_ready_heap = False
+
+    heap = Mp3dKernel(n_threads=4).run(paper_config(n_cpus=4))
+    scan = Mp3dKernel(n_threads=4).run(
+        paper_config(n_cpus=4), policy=ScanningDeterministicPolicy())
+    assert heap.stats.get("cycles") == scan.stats.get("cycles")
+    assert heap.stats.get("engine.steps") == scan.stats.get("engine.steps")
+    assert heap.results() == scan.results()
+
+
 # ---------------------------------------------------------------------------
 # The bounded window
 # ---------------------------------------------------------------------------
