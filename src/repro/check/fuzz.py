@@ -15,10 +15,19 @@ PCT (``pct``) failures, :func:`shrink_change_points` greedily minimises
 the set of priority change-points needed to reproduce the failure, which
 usually pins the bug to one or two scheduling decisions.
 
-Fault injection: ``fault="drop-requeue"`` disables the §6b.2
-violation-record re-queue on every CPU (the :class:`~repro.isa.state
-.IsaState.requeue_enabled` test hook), re-introducing the lost-wakeup bug
-the design fixed.  The ``requeue`` and ``condsync`` programs catch it.
+Fault injection (:mod:`repro.faults`): every case takes an optional
+``fault`` axis naming a :class:`~repro.faults.plan.FaultPlan` — one of
+the eight recoverable chaos kinds (``spurious-violation``, ...,
+``alloc-pressure``), its deliberately mis-recovered ``+broken`` variant,
+or the legacy ``drop-requeue`` (which disables the §6b.2
+violation-record re-queue, re-introducing the lost-wakeup bug the design
+fixed; the ``requeue`` and ``condsync`` programs catch it).  A
+fault-injected case is replayable from ``(fault, program, config,
+seed)`` — the plan pre-draws all its decisions from that seed — exposed
+on the CLI as ``python -m repro chaos --replay
+fault:program:config:seed``.  Recoverable kinds additionally run the
+fault-quiescence oracle: the hardware must end the run with no open or
+half-committed transaction left behind.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.common.params import (
     UNDO_LOG,
     functional_config,
 )
+from repro.faults import FAULT_KINDS, FAULT_NAMES, FaultInjector, make_plan
 from repro.mem.layout import SharedArena
 from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
@@ -40,6 +50,7 @@ from repro.sim.schedule import PriorityPolicy, make_policy
 from repro.check.history import HistoryRecorder
 from repro.check.oracles import (
     OracleViolation,
+    check_fault_quiescence,
     check_lost_wakeups,
     check_serializability,
 )
@@ -61,7 +72,12 @@ FAST_CONFIGS = ("lazy-wb-assoc", "lazy-wb-mt", "eager-wb", "eager-undo")
 
 POLICIES = ("det", "random", "pct")
 
-FAULTS = ("drop-requeue",)
+#: Every fault name a case accepts (chaos kinds, +broken variants,
+#: legacy drop-requeue).
+FAULTS = FAULT_NAMES
+
+#: The recoverable kinds the chaos matrix must survive cleanly.
+CHAOS_FAULTS = FAULT_KINDS
 
 
 @dataclasses.dataclass
@@ -78,6 +94,9 @@ class CaseResult:
     commit_cpus: tuple = ()      # committing CPU per commit, in order
     error: str = None
     fired_points: list = None    # pct: (step, demoted cpu) pairs that fired
+    fault: str = None            # fault name, if one was injected
+    n_injections: int = 0        # how many times the plan fired
+    fired: tuple = ()            # (opportunity, cpu, detail) per injection
 
     @property
     def failed(self):
@@ -88,12 +107,20 @@ class CaseResult:
         """The replayable name of this case."""
         return f"{self.program}:{self.config}:{self.policy}:{self.seed}"
 
+    @property
+    def chaos_triple(self):
+        """The replayable chaos name: ``fault:program:config:seed``."""
+        return f"{self.fault}:{self.program}:{self.config}:{self.seed}"
+
     def __str__(self):
+        name = self.chaos_triple if self.fault else self.triple
         if self.skipped:
-            return f"{self.triple}: skipped (scenario needs another config)"
+            return f"{name}: skipped (scenario needs another config)"
+        injected = (f", {self.n_injections} injections"
+                    if self.fault else "")
         if not self.failed:
-            return f"{self.triple}: ok ({self.n_committed} commits)"
-        lines = [f"{self.triple}: FAILED"]
+            return f"{name}: ok ({self.n_committed} commits{injected})"
+        lines = [f"{name}: FAILED ({self.n_committed} commits{injected})"]
         lines += [f"  {violation}" for violation in self.violations]
         if self.fired_points:
             lines.append(f"  pct change-points fired: {self.fired_points}")
@@ -107,11 +134,14 @@ def build_config(config_name, program):
 
 
 def run_case(program_name, config_name, policy_name, seed,
-             fault=None, change_points=None):
+             fault=None, change_points=None, max_cycles=None):
     """Run one case and return its :class:`CaseResult`.
 
-    Deterministic in its arguments: the seed fixes both the program's
-    internal randomness and the schedule policy's.
+    Deterministic in its arguments: the seed fixes the program's
+    internal randomness, the schedule policy's, and — when ``fault`` is
+    given — the fault plan's entire decision stream.  ``max_cycles``
+    overrides the program's budget (the broken-fault self-tests use a
+    small budget so a deliberate livelock fails fast).
     """
     if fault is not None and fault not in FAULTS:
         raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
@@ -119,26 +149,30 @@ def run_case(program_name, config_name, policy_name, seed,
     config = build_config(config_name, program)
     if not program.supports(config):
         return CaseResult(program_name, config_name, policy_name, seed,
-                          skipped=True)
+                          skipped=True, fault=fault)
     policy_kwargs = {}
     if change_points is not None:
         policy_kwargs["change_points"] = change_points
     policy = make_policy(policy_name, seed=seed, **policy_kwargs)
     machine = Machine(config, policy=policy)
-    if fault == "drop-requeue":
-        for cpu in machine.cpus:
-            cpu.isa.requeue_enabled = False
+    injector = None
+    if fault is not None:
+        # Attach before the recorder so the recorder's commit wrap sits
+        # outermost and observes fault-perturbed commits like real ones.
+        injector = FaultInjector(make_plan(fault, seed), machine)
     runtime = Runtime(machine)
     arena = SharedArena(machine)
     recorder = HistoryRecorder(machine)
     error = None
     try:
         program.setup(machine, runtime, arena)
-        machine.run(max_cycles=program.max_cycles)
+        machine.run(max_cycles=max_cycles or program.max_cycles)
     except ReproError as exc:
         error = exc
     finally:
         recorder.detach()
+        if injector is not None:
+            injector.detach()
     if error is None:
         try:
             program.verify(machine)
@@ -149,6 +183,8 @@ def run_case(program_name, config_name, policy_name, seed,
     violations += check_lost_wakeups(machine, error, program.waiter_cpus)
     if error is None:
         violations += program.check_final(machine, history)
+        if fault is not None:
+            violations += check_fault_quiescence(machine, error)
     elif not violations:
         # The run failed in a way no specific oracle classified; surface
         # it rather than letting a crash read as a pass.
@@ -162,6 +198,9 @@ def run_case(program_name, config_name, policy_name, seed,
         error=str(error) if error else None,
         fired_points=(list(policy.fired)
                       if isinstance(policy, PriorityPolicy) else None),
+        fault=fault,
+        n_injections=injector.n_injections if injector else 0,
+        fired=tuple(injector.plan.fired) if injector else (),
     )
 
 
@@ -188,6 +227,46 @@ def sweep(programs=None, configs=None, policies=POLICIES, seeds=3,
                     if report is not None:
                         report(result)
     return results
+
+
+def chaos_sweep(faults=None, programs=None, configs=None, seeds=2,
+                report=None):
+    """The chaos matrix: fault × program × config × seed, det schedule.
+
+    Defaults to the recoverable :data:`CHAOS_FAULTS` over the fast
+    configs — the acceptance bar is *zero* oracle violations.  The
+    schedule policy is pinned to ``det`` so a chaos case is replayable
+    from its ``fault:program:config:seed`` name alone.
+    """
+    faults = list(faults) if faults else list(CHAOS_FAULTS)
+    programs = list(programs) if programs else sorted(PROGRAMS)
+    configs = list(configs) if configs else list(FAST_CONFIGS)
+    results = []
+    for fault in faults:
+        for program_name in programs:
+            for config_name in configs:
+                for seed in range(1, seeds + 1):
+                    result = run_case(program_name, config_name, "det",
+                                      seed, fault=fault)
+                    results.append(result)
+                    if report is not None:
+                        report(result)
+    return results
+
+
+def injection_totals(results):
+    """Per-fault injection counts over a chaos sweep's results.
+
+    A kind whose total is zero never actually perturbed a run — its
+    matrix column proves nothing — so the CLI treats that as a failure.
+    """
+    totals = {}
+    for result in results:
+        if result.fault is None or result.skipped:
+            continue
+        totals[result.fault] = (
+            totals.get(result.fault, 0) + result.n_injections)
+    return totals
 
 
 def shrink_change_points(failure, fault=None):

@@ -22,6 +22,12 @@ These oracles state what "correct" means, checkable on any schedule:
   effects with compensation must land exactly once per committed
   transaction and at most once overall (DESIGN.md §6b.6); the adversarial
   programs feed their counters through this helper.
+* **Fault quiescence** (:func:`check_fault_quiescence`): a run that
+  absorbed injected faults (:mod:`repro.faults`) must still end with the
+  hardware quiescent — no transaction open, no stale validated level, no
+  serial owner.  Leftover speculative state means a recovery path lost
+  track of a transaction even though the program's invariants happened to
+  survive.
 """
 
 from __future__ import annotations
@@ -210,3 +216,43 @@ def check_invariant(name, ok, detail=""):
     if ok:
         return []
     return [OracleViolation("invariant", f"{name}: {detail}")]
+
+
+# ----------------------------------------------------------------------
+# Fault quiescence
+# ----------------------------------------------------------------------
+
+def check_fault_quiescence(machine, error=None):
+    """After a fault-injected run, the hardware must be quiescent.
+
+    Applies only to runs that *finished* (``error is None`` — a failed
+    run is already reported by the run-failure path).  Daemon CPUs are
+    exempt: the condsync scheduler holds its watch transaction open for
+    the machine's whole life by design.
+    """
+    if error is not None:
+        return []
+    htm = machine.htm
+    violations = []
+    daemons = {cpu.cpu_id for cpu in machine.cpus if cpu.daemon}
+    for state in htm.states:
+        if state.cpu_id in daemons:
+            continue
+        if state.in_tx():
+            violations.append(OracleViolation(
+                "quiescence",
+                f"cpu {state.cpu_id} ended the run with an open "
+                f"transaction at depth {state.depth()}"))
+    stale = sorted(
+        (cpu_id, level) for cpu_id, level in htm.validated
+        if cpu_id not in daemons)
+    if stale:
+        violations.append(OracleViolation(
+            "quiescence",
+            f"stale validated level(s) {stale} after the run "
+            f"(a commit never completed its second phase)"))
+    if htm.serial_owner is not None and htm.serial_owner not in daemons:
+        violations.append(OracleViolation(
+            "quiescence",
+            f"cpu {htm.serial_owner} still owns serial mode"))
+    return violations

@@ -28,6 +28,10 @@ The roster targets the mechanisms DESIGN.md §6b found fragile:
   silently dropped and a parked CPU sleeps forever.
 * ``condsync``    — the full watch/retry scheduler on one
   producer/consumer pair (no lost or duplicated wakeups).
+* ``iochaos``     — the two paper §5 libraries together: open-nested
+  allocation with compensation plus buffered transactional output
+  (exactly-once log appends, heap conservation).  The natural prey for
+  the ``io-fault``/``alloc-pressure`` chaos kinds.
 
 Programs that rely on commit-time violation *delivery* declare
 ``supports(config)`` accordingly: under eager ``requester_stalls``
@@ -538,6 +542,102 @@ class CondSyncProgram(CheckProgram):
         self._inner.verify(machine)
 
 
+class IoChaosProgram(CheckProgram):
+    """Allocator + transactional I/O under contention (paper §5).
+
+    Each worker, per round, inside one transaction: mallocs a block
+    (open-nested, compensated), tags it, writes the tag to a shared log
+    file (buffered output, flushed by a commit handler between
+    ``xvalidate`` and ``xcommit``), bumps a shared commit counter, and
+    frees the block (deferred to commit).  On any schedule — and under
+    any *recoverable* fault — the committed counter, the device log and
+    the heap must agree:
+
+    * exactly one log record per committed round (``len(log) == CNT``);
+    * every block freed: the free list accounts for every byte the heap
+      ever broke off (conservation — a leaked compensation shows up
+      here).
+    """
+
+    name = "iochaos"
+
+    HEAP_WORDS = 512
+    BLOCK_WORDS = 4
+
+    def __init__(self, n_threads=3, seed=1, scale=1.0, rounds=3):
+        super().__init__(n_threads, seed=seed, scale=scale)
+        self.rounds = rounds
+
+    def setup(self, machine, runtime, arena):
+        from repro.mem.heap import SharedHeap
+        from repro.runtime.alloc import TxAlloc
+        from repro.runtime.txio import SimFile, TxIo
+
+        self._rt = runtime
+        self.heap = SharedHeap(arena, self.HEAP_WORDS)
+        self.alloc = TxAlloc(runtime, self.heap)
+        self.io = TxIo(runtime)
+        self.log = SimFile(arena, "chaos.log")
+        self.cnt = arena.alloc_word(0, isolate=True)
+        rng = random.Random(self.seed)
+        for worker in range(self.n_threads):
+            gaps = [rng.randrange(40) for _ in range(self.rounds)]
+            runtime.spawn(self._worker, worker, gaps, cpu_id=worker)
+
+    def _worker(self, t, who, gaps):
+        rt = self._rt
+        for round_no, gap in enumerate(gaps):
+            tag = who * 100 + round_no
+
+            def body(t, tag=tag):
+                addr = yield from self.alloc.malloc(t, self.BLOCK_WORDS)
+                yield t.store(addr, tag)
+                yield from self.io.write(t, self.log, [tag])
+                value = yield t.load(self.cnt)
+                yield t.alu(10)
+                yield t.store(self.cnt, value + 1)
+                yield from self.alloc.free(t, addr)
+
+            yield from rt.atomic(t, body)
+            yield t.alu(1 + gap)
+
+    def verify(self, machine):
+        expected = self.n_threads * self.rounds
+        cnt = machine.memory.read(self.cnt)
+        if cnt != expected:
+            raise ReproError(
+                f"iochaos: committed count {cnt}, expected {expected}")
+
+    def _free_bytes(self, machine):
+        """Walk the final free list; total bytes (payload + headers)."""
+        from repro.common.params import WORD_SIZE
+        from repro.mem.heap import _HDR_WORDS
+
+        total = 0
+        block = machine.memory.read(self.heap.free_head_addr)
+        seen = set()
+        while block:
+            if block in seen:
+                return -1  # cycle: corrupt free list
+            seen.add(block)
+            size = machine.memory.read(block)
+            total += (size + _HDR_WORDS) * WORD_SIZE
+            block = machine.memory.read(block + WORD_SIZE)
+        return total
+
+    def check_final(self, machine, history):
+        cnt = machine.memory.read(self.cnt)
+        violations = check_exact_count(
+            "iochaos-log-exactly-once", len(self.log.data), cnt)
+        brk = machine.memory.read(self.heap.brk_addr)
+        violations += check_invariant(
+            "iochaos-heap-conserved",
+            self._free_bytes(machine) == brk - self.heap.base,
+            f"free list holds {self._free_bytes(machine)} bytes but the "
+            f"heap broke off {brk - self.heap.base} (leak or corruption)")
+        return violations
+
+
 #: Fuzzable programs by name.
 PROGRAMS = {
     cls.name: cls
@@ -550,6 +650,7 @@ PROGRAMS = {
         CompensationProgram,
         RequeueWakeupProgram,
         CondSyncProgram,
+        IoChaosProgram,
     )
 }
 

@@ -233,6 +233,69 @@ def cmd_check(args):
     return 1 if failures else 0
 
 
+def cmd_chaos(args):
+    from repro.check.fuzz import (
+        CHAOS_FAULTS,
+        CONFIGS,
+        FAULTS,
+        chaos_sweep,
+        injection_totals,
+        run_case,
+        summarize,
+    )
+    from repro.check.programs import PROGRAMS
+
+    if args.replay:
+        try:
+            fault, program, config, seed = args.replay.split(":")
+            seed = int(seed)
+        except ValueError:
+            print("--replay wants fault:program:config:seed",
+                  file=sys.stderr)
+            return 2
+        result = run_case(program, config, "det", seed, fault=fault)
+        print(result)
+        return 1 if result.failed else 0
+
+    def pick(raw, universe, what):
+        if not raw:
+            return None
+        names = raw.split(",")
+        unknown = [n for n in names if n not in universe]
+        if unknown:
+            raise SystemExit(
+                f"unknown {what} {unknown}; choose from {sorted(universe)}")
+        return names
+
+    faults = pick(args.faults, set(FAULTS), "fault")
+    results = chaos_sweep(
+        faults=faults,
+        programs=pick(args.programs, PROGRAMS, "program"),
+        configs=pick(args.configs, CONFIGS, "config"),
+        seeds=args.seeds,
+        report=(print if args.verbose else None),
+    )
+    n_run, n_skipped, failures = summarize(results)
+    totals = injection_totals(results)
+    print(f"chaos: {n_run} cases run, {n_skipped} skipped, "
+          f"{len(failures)} failed")
+    unreachable = []
+    for fault in faults or CHAOS_FAULTS:
+        count = totals.get(fault, 0)
+        print(f"  {fault}: {count} injections")
+        if not count:
+            unreachable.append(fault)
+    for failure in failures:
+        print()
+        print(failure)
+        print("  replay with:")
+        print(f"    python -m repro chaos --replay {failure.chaos_triple}")
+    if unreachable:
+        print(f"chaos: fault kinds never fired: {unreachable}",
+              file=sys.stderr)
+    return 1 if failures or unreachable else 0
+
+
 def cmd_all(args):
     status = 0
     for step in (cmd_isa, cmd_overheads, cmd_figure5, cmd_io, cmd_condsync):
@@ -321,13 +384,36 @@ def build_parser():
                    help="comma-separated config names (default: all)")
     p.add_argument("--policies", default="",
                    help="comma-separated policies from det,random,pct")
-    p.add_argument("--inject-fault", default="", choices=["", "drop-requeue"],
-                   help="re-introduce a known-fixed bug (oracle self-test)")
+    from repro.check.fuzz import FAULTS
+    p.add_argument("--inject-fault", default="", choices=("",) + FAULTS,
+                   metavar="FAULT",
+                   help="inject a seeded fault (a bare kind must survive "
+                        "the oracles; a '+broken' variant re-introduces a "
+                        "known bug the oracles must catch)")
     p.add_argument("--replay", default="",
                    help="re-run one case as program:config:policy:seed")
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it finishes")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection matrix: every recoverable fault kind "
+             "across the oracle programs and configs")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeds per (fault, program, config) cell")
+    p.add_argument("--faults", default="",
+                   help="comma-separated fault kinds (default: all eight)")
+    p.add_argument("--programs", default="",
+                   help="comma-separated program names (default: all)")
+    p.add_argument("--configs", default="",
+                   help="comma-separated config names (default: the fast "
+                        "four)")
+    p.add_argument("--replay", default="",
+                   help="re-run one case as fault:program:config:seed")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case as it finishes")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("all", help="the whole evaluation")
     common(p)

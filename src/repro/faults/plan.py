@@ -1,0 +1,184 @@
+"""Deterministic fault plans: *what* to inject, decided up front.
+
+A :class:`FaultPlan` is the pure-data half of the fault-injection
+subsystem: given a ``(fault, seed)`` pair it pre-draws — from a seeded
+generator — which *opportunities* (deterministic event counts maintained
+by the :class:`~repro.faults.injector.FaultInjector`) actually fire, and
+serves any further random choices (victim CPU, nesting level, address,
+delay) from the same generator.  Two runs with the same plan arguments
+therefore make bit-identical decisions, which is what makes every chaos
+failure replayable from its ``(fault, seed, config, program)`` triple.
+
+The generator is seeded with a *string* (``"kind:seed:broken"``): string
+seeding hashes via SHA-512 and is stable across processes, whereas
+seeding with a tuple would go through ``hash()`` and depend on
+``PYTHONHASHSEED``.
+
+Fault kinds (the paper's recovery surfaces, ISSUE tentpole):
+
+=====================  ====================================================
+``spurious-violation`` conflict posts against CPUs with no real conflict
+                       (never a VALIDATED level — paper §6.1)
+``delayed-violation``  violation delivery held back a few engine steps
+                       (flushed at the xvalidate barrier and before parks)
+``token-loss``         ``xvalidate`` loses the commit-token arbitration
+                       spuriously; the CPU stalls and retries
+``validated-abort``    a validated transaction is devalidated and then
+                       violated — the §6.1-safe forced abort between
+                       xvalidate and xcommit
+``handler-reentry``    a new conflict arrives during violation-handler
+                       dispatch (queued, re-invoking the handler, §4.6)
+``watch-drop``         a tracked read-set unit is lost from the hardware
+                       (generalizing ``requeue_enabled``); the hardware
+                       conservatively violates the level it dropped from
+``io-fault``           a transient syscall failure in ``runtime/txio``
+                       (EINTR-style: charged and retried)
+``alloc-pressure``     allocator pressure in ``runtime/alloc``: the open
+                       allocation transaction is delayed and self-violated
+``drop-requeue``       legacy: disable the §6b.2 violation-record re-queue
+                       (a known bug reintroduction; not part of the clean
+                       chaos matrix)
+=====================  ====================================================
+
+Every kind except ``drop-requeue`` also has a ``+broken`` variant — a
+deliberately wrong recovery (e.g. ``spurious-violation+broken`` rolls the
+level back but drops the handler invocation, ``io-fault+broken`` retries
+a write blindly after the device effect) used by the oracle self-tests to
+prove the matching oracle actually catches the bug class.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: The chaos fault kinds: every one must run clean against the oracles.
+FAULT_KINDS = (
+    "spurious-violation",
+    "delayed-violation",
+    "token-loss",
+    "validated-abort",
+    "handler-reentry",
+    "watch-drop",
+    "io-fault",
+    "alloc-pressure",
+)
+
+#: Kinds outside the clean matrix (bug reintroductions by construction).
+LEGACY_KINDS = ("drop-requeue",)
+
+#: Storm sentinel: fire at every opportunity.
+ALL = "all"
+
+#: Default (fires, horizon) per kind: ``fires`` opportunities are drawn
+#: uniformly from the first ``horizon``.  Tuned so each kind fires a few
+#: times inside the adversarial programs' short runs.
+_DEFAULTS = {
+    "spurious-violation": (3, 150),
+    "delayed-violation": (2, 6),
+    "token-loss": (3, 10),
+    "validated-abort": (2, 8),
+    "handler-reentry": (2, 5),
+    "watch-drop": (2, 120),
+    "io-fault": (2, 6),
+    "alloc-pressure": (2, 6),
+    "drop-requeue": (0, 1),
+}
+
+#: Broken-variant overrides: denser/permanent firing so the deliberately
+#: wrong recovery reliably reaches its kill window.
+_BROKEN_DEFAULTS = {
+    "spurious-violation": (8, 200),
+    "delayed-violation": (4, 8),
+    "token-loss": (1, 4),
+    "validated-abort": (2, 8),
+    "handler-reentry": (ALL, 1),
+    "watch-drop": (12, 60),
+    "io-fault": (2, 4),
+    "alloc-pressure": (2, 4),
+}
+
+#: Every name ``make_plan`` accepts (the CLI's --inject-fault choices).
+FAULT_NAMES = tuple(
+    list(FAULT_KINDS)
+    + [f"{kind}+broken" for kind in FAULT_KINDS]
+    + list(LEGACY_KINDS)
+)
+
+
+class FaultPlan:
+    """Seeded, pre-drawn decisions for one fault-injected run."""
+
+    def __init__(self, kind, seed, broken=False, fires=None, horizon=None):
+        if kind not in FAULT_KINDS and kind not in LEGACY_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from "
+                f"{FAULT_KINDS + LEGACY_KINDS}")
+        self.kind = kind
+        self.seed = seed
+        self.broken = broken
+        defaults = (_BROKEN_DEFAULTS if broken else _DEFAULTS).get(
+            kind, _DEFAULTS[kind])
+        if fires is None:
+            fires = defaults[0]
+        if horizon is None:
+            horizon = defaults[1]
+        self.fires = fires
+        self.horizon = horizon
+        self._rng = random.Random(f"{kind}:{seed}:{int(broken)}")
+        if fires == ALL:
+            self._fire_set = None
+        else:
+            n = min(fires, horizon)
+            self._fire_set = (
+                set(self._rng.sample(range(1, horizon + 1), n)) if n else
+                set())
+        #: Opportunity counter (bumped by :meth:`should_fire`).
+        self.opportunities = 0
+        #: Log of (opportunity, cpu_id, detail) for every injection.
+        self.fired = []
+
+    @property
+    def name(self):
+        """The replayable fault name (``kind`` or ``kind+broken``)."""
+        return self.kind + ("+broken" if self.broken else "")
+
+    @property
+    def n_injections(self):
+        return len(self.fired)
+
+    # -- decision stream -----------------------------------------------
+
+    def should_fire(self):
+        """Count one opportunity; True if it was drawn to fire.
+
+        Call exactly once per opportunity: the counter is part of the
+        deterministic replay state.
+        """
+        self.opportunities += 1
+        if self._fire_set is None:
+            return True
+        return self.opportunities in self._fire_set
+
+    def choice(self, seq):
+        """Deterministic pick from a (deterministically ordered!) seq."""
+        return self._rng.choice(seq)
+
+    def randint(self, lo, hi):
+        return self._rng.randint(lo, hi)
+
+    def record(self, cpu_id, **detail):
+        """Log one injection (paired with Machine._fault_event)."""
+        self.fired.append((self.opportunities, cpu_id, detail))
+
+    def __repr__(self):
+        return (f"FaultPlan({self.name!r}, seed={self.seed}, "
+                f"fires={self.fires}, horizon={self.horizon}, "
+                f"injected={self.n_injections})")
+
+
+def make_plan(fault, seed, fires=None, horizon=None):
+    """Build the plan for a fault *name* (``kind`` or ``kind+broken``)."""
+    broken = fault.endswith("+broken")
+    kind = fault[:-len("+broken")] if broken else fault
+    return FaultPlan(kind, seed, broken=broken, fires=fires,
+                     horizon=horizon)

@@ -246,6 +246,30 @@ class HtmSystem:
         state.stats.add("validates")
         return True
 
+    def devalidate(self, cpu_id):
+        """Retract the current level's successful ``xvalidate``.
+
+        The §6.1-safe way to force an abort *between* xvalidate and
+        xcommit: the transaction first leaves the validated set (so the
+        "a validated transaction can never be violated" invariant is
+        preserved — it is no longer validated when the violation lands)
+        and only then may a violation be posted against it.  Models a
+        commit-token loss after a successful arbitration, e.g. a dropped
+        coherence message.  Returns the devalidated level, or 0 if the
+        current level was not validated.
+        """
+        state = self.states[cpu_id]
+        if not state.in_tx():
+            return 0
+        info = state.current()
+        if info.status != VALIDATED:
+            return 0
+        level = state.depth()
+        info.status = ACTIVE
+        self.validated.pop((cpu_id, level), None)
+        state.stats.add("devalidates")
+        return level
+
     def commit(self, cpu_id):
         """``xcommit``.  Returns a :class:`CommitResult`."""
         state = self.states[cpu_id]

@@ -16,6 +16,7 @@ import dataclasses
 
 from repro.common.errors import IsaError, SimulationError
 from repro.htm.conflict import PROCEED, SELF_ABORT, STALL
+from repro.htm.system import VALIDATED
 from repro.sim import ops as O
 
 #: Thread scheduler states.
@@ -236,7 +237,11 @@ class Cpu:
             return ExecOutcome(latency=latency)
 
         if isinstance(op, O.XCommit):
+            committed_level = self.depth()
             result = htm.commit(self.cpu_id)
+            if result.kind != "flattened":
+                self.isa.retire_level(
+                    committed_level, merged=result.kind == "closed")
             if result.kind in ("outer", "open"):
                 latency = mem.commit_broadcast(
                     self.cpu_id, result.written_words, now)
@@ -318,8 +323,27 @@ class Cpu:
         return work
 
     def _self_abort(self, addr):
-        """Eager deadlock avoidance: the requester violates itself."""
+        """Eager deadlock avoidance: the requester violates itself.
+
+        The mask covers only the levels *above* the deepest VALIDATED
+        one: a validated transaction must never be violated (paper
+        §6.1), and this path posts directly into the violation
+        registers, bypassing the detector's validated-set check.  In
+        practice the validated levels are the ones a commit handler is
+        flushing while its open-nested transaction (the only level that
+        can still conflict) restarts around them.
+        """
         level = max(1, self.depth())
         mask = (1 << level) - 1
+        state = self.machine.htm.states[self.cpu_id]
+        for lvl in range(len(state.levels), 0, -1):
+            if state.levels[lvl - 1].status == VALIDATED:
+                mask &= ~((1 << lvl) - 1)
+                break
+        if not mask:
+            # Unreachable in practice — the conflicting access can only
+            # issue from an ACTIVE innermost level — but never post an
+            # empty mask.
+            mask = 1 << (level - 1)
         self.isa.post(mask, addr)
         self.stats.add("htm.self_aborts")

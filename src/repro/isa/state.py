@@ -51,6 +51,18 @@ class IsaState:
         self.xvcurrent = 0
         #: Hardware FIFO of undelivered (mask, addr) conflict records.
         self._vqueue = deque()
+        #: Signalled-and-unresolved bits per conflicting address.  The
+        #: paper's ``xvpending`` is a *bitmask*: re-signalling a level
+        #: already pending for the same line ORs into an already-set bit
+        #: and raises no new handler invocation.  Our record FIFO models
+        #: the re-invocation, so it must coalesce explicitly — an eager
+        #: requester's parked operation retries every couple of cycles,
+        #: and without coalescing each retry posts a fresh identical
+        #: record that preempts the victim's in-flight compensation walk
+        #: (unbounded nested dispatch; the rollback that would release
+        #: the line never completes).  Bits clear when the conflict is
+        #: resolved: ``xvclear`` or the rollback's ``xrwsetclear``.
+        self._live = {}
 
         #: Violation-reporting enable (cleared on handler dispatch and
         #: ``xabort``; set by ``xvret`` / ``xenviolrep``).
@@ -59,10 +71,12 @@ class IsaState:
         #: Abort code of the most recent ``xabort`` (software-visible).
         self.xabort_code = None
 
-        #: Test-only fault hook: when False, :meth:`requeue_current`
+        #: Fault-injection hook: when False, :meth:`requeue_current`
         #: silently drops the record a dying dispatcher was handling —
-        #: the exact bug DESIGN.md §6b.2 fixed.  The checking layer flips
-        #: this to prove its lost-wakeup oracle catches the regression.
+        #: the exact bug DESIGN.md §6b.2 fixed.  The
+        #: :class:`repro.faults.FaultInjector` flips this (fault kind
+        #: ``drop-requeue``) to prove the lost-wakeup oracle catches the
+        #: regression.
         self.requeue_enabled = True
 
     # ------------------------------------------------------------------
@@ -76,8 +90,22 @@ class IsaState:
         return mask
 
     def post(self, mask, addr):
-        """Hardware-side recording of a detected conflict."""
+        """Hardware-side recording of a detected conflict.
+
+        Idempotent per (level, address) until resolved: a conflict whose
+        bits are all still signalled-and-unresolved for the same address
+        is already on its way to a handler and is not recorded again.
+        """
+        live = self._live.get(addr, 0)
+        if not (mask & ~live):
+            return
+        self._live[addr] = live | mask
         self._vqueue.append((mask, addr))
+
+    def queue_depth(self):
+        """Number of undelivered conflict records (diagnostics and the
+        fault-quiescence oracle)."""
+        return len(self._vqueue)
 
     def has_deliverable(self):
         """An *undelivered* conflict record is ready for handler dispatch.
@@ -100,9 +128,21 @@ class IsaState:
     def clear_current(self, mask=None):
         """``xvclear``: software acknowledges handled conflicts."""
         if mask is None:
+            cleared = self.xvcurrent
             self.xvcurrent = 0
         else:
+            cleared = self.xvcurrent & mask
             self.xvcurrent &= ~mask
+        if cleared:
+            self._unlive(self.xvaddr, cleared)
+
+    def _unlive(self, addr, mask):
+        """Resolve signalled bits so the conflict can be re-posted."""
+        live = self._live.get(addr, 0) & ~mask
+        if live:
+            self._live[addr] = live
+        elif addr in self._live:
+            del self._live[addr]
 
     def requeue_current(self, rollback_level):
         """A dispatcher died before finishing (a nested rollback unwound
@@ -115,6 +155,40 @@ class IsaState:
             self._vqueue.appendleft((mask, self.xvaddr))
         self.xvcurrent = 0
 
+    def retire_level(self, level, merged):
+        """Hardware commit of ``level``: pending bits follow the sets.
+
+        A closed commit (``merged=True``) hands the level's read/write
+        sets to its parent, so a pending violation bit moves down with
+        them; an open or outermost commit discards the sets, and pending
+        bits for the level die with them.  Without this, a record posted
+        during a reporting-off window outlives the transaction it names
+        and is mis-delivered against whatever runs at that level next.
+        """
+        bit = 1 << (level - 1)
+
+        def fix(mask):
+            if not mask & bit:
+                return mask
+            mask &= ~bit
+            if merged:
+                mask |= bit >> 1
+            return mask
+
+        self.xvcurrent = fix(self.xvcurrent)
+        remaining = deque()
+        for mask, addr in self._vqueue:
+            mask = fix(mask)
+            if mask:
+                remaining.append((mask, addr))
+        self._vqueue = remaining
+        for addr in list(self._live):
+            live = fix(self._live[addr])
+            if live:
+                self._live[addr] = live
+            else:
+                del self._live[addr]
+
     def clear_masks_at_and_above(self, level):
         """Drop the violation bits for ``level`` and deeper, both current
         and queued (performed by ``xrwsetclear``, paper §4.3/§4.6)."""
@@ -126,6 +200,12 @@ class IsaState:
             if mask:
                 remaining.append((mask, addr))
         self._vqueue = remaining
+        for addr in list(self._live):
+            live = self._live[addr] & keep
+            if live:
+                self._live[addr] = live
+            else:
+                del self._live[addr]
 
 
 def lowest_level_in_mask(mask):

@@ -103,6 +103,7 @@ def run_with_policy(runtime, t, body, *args, policy, open_=False):
             if cycles is None:
                 # Give up: a proper xabort so the hardware transaction
                 # terminates cleanly and TxAborted reaches the caller.
+                t.stats.add("rt.policy_giveups")
                 yield from runtime.abort(t, code="retry-cap")
             if cycles:
                 yield t.alu(cycles)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from repro.common.errors import IsaError, TxAborted, TxRollback, TxSignal
 from repro.common.params import WORD_SIZE
+from repro.htm.system import ACTIVE
 from repro.isa import tcb
 from repro.isa.dispatch import HandlerOutcome
 from repro.isa.state import lowest_level_in_mask
@@ -169,46 +170,99 @@ class Runtime:
         (default) to terminate the transaction and raise
         :class:`TxAborted` to the surrounding code.
         """
-        yield from self.begin_tx(t, open_)
-        hw_level = t.depth()
-        subsumed = t.xstatus()["level"] != hw_level
+        old_depth = t.depth()
+        hw_level = None
+        subsumed = False
+        # The retry loop is a small state machine so that *every* yield —
+        # including begin_tx, the loser-side pause, the condsync park,
+        # and the terminating commit of a finished (empty, restarted)
+        # transaction — sits inside the try-block.  A violation delivered
+        # at a yield outside it could not be caught by the same try and
+        # would escape the atomic wrapper entirely (a bug the chaos
+        # matrix found: a spurious violation landing in the retry pause
+        # killed the program).
+        mode = "begin"         # begin | run | pause | park | finish
+        finish = None          # pending terminal: ("raise", exc) after
+        #                        the restarted empty transaction commits
+        retries = 0            # consecutive rollbacks (scales the pause)
         while True:
             try:
-                result = yield from body(t, *args)
+                if mode == "begin":
+                    yield from self.begin_tx(t, open_)
+                    hw_level = t.depth()
+                    subsumed = t.xstatus()["level"] != hw_level
+                    mode = "run"
+                if mode == "park":
+                    mode = "run"
+                    yield O.YieldCpu()
+                    t.stats.add("rt.parks")
+                if mode == "pause":
+                    # Loser-side pause: give the winning requester's
+                    # retried access time to complete before this
+                    # transaction re-acquires the contended lines
+                    # (prevents starvation of the oldest transaction
+                    # under 3+-way conflicts).  Scaled by the
+                    # consecutive-retry count: with a constant pause,
+                    # three-way conflicts whose compensation walks all
+                    # touch the allocator metadata can re-collide in
+                    # lockstep forever; growing pauses separate the
+                    # contenders deterministically so one of them gets
+                    # a long enough quiet window to finish its walk.
+                    # Ordinary contention (a handful of retries) keeps
+                    # the constant pause; the scaling is an escape
+                    # hatch, not a tax on the common case.
+                    mode = "run"
+                    scale = 1 if retries < 16 else min(retries, 128)
+                    yield O.Alu((4 + 2 * t.cpu_id) * scale)
+                if mode == "run":
+                    result = yield from body(t, *args)
+                    yield from self.commit_tx(t)
+                    return result
+                # mode == "finish": terminate the restarted (empty)
+                # hardware transaction cleanly, then surface the pending
+                # exception outside the loop.
                 yield from self.commit_tx(t)
-                return result
+                break
             except TxRollback as rollback:
+                if hw_level is None:
+                    # Violated inside begin_tx.  Rollbacks of the levels
+                    # that surrounded us belong to outer wrappers; our
+                    # own just-opened level (the only deeper target —
+                    # xbegin must already have run for it to exist) was
+                    # restarted fresh by the hardware, so adopt it and
+                    # retry the body.  Its begin bookkeeping already ran:
+                    # the only yield after xbegin follows the snapshot.
+                    if rollback.level <= old_depth:
+                        raise
+                    hw_level = rollback.level
                 if subsumed or rollback.level < hw_level:
                     raise
+                if mode == "finish":
+                    continue  # violated mid-terminate: re-terminate
                 if rollback.reason == "capacity":
                     # Retrying cannot help: the footprint exceeds the
-                    # hardware.  Terminate the restarted (empty)
-                    # transaction and surface the abort so software can
-                    # fall back (the virtualization hook, paper §6.3.3).
-                    yield from self.commit_tx(t)
-                    raise
+                    # hardware.  Terminate and surface the abort so
+                    # software can fall back (the virtualization hook,
+                    # paper §6.3.3).
+                    mode, finish = "finish", rollback
+                    continue
                 t.stats.add("rt.retries")
+                retries += 1
                 if rollback.reason != "abort":
-                    if self.machine.config.detection == "eager":
-                        # Loser-side pause: give the winning requester's
-                        # retried access time to complete before this
-                        # transaction re-acquires the contended lines
-                        # (prevents starvation of the oldest transaction
-                        # under 3+-way conflicts).
-                        yield O.Alu(4 + 2 * t.cpu_id)
+                    mode = ("pause"
+                            if self.machine.config.detection == "eager"
+                            else "run")
                     continue
                 decision = (abort_policy(rollback.code)
                             if abort_policy else "raise")
                 if decision == "restart":
+                    mode = "run"
                     continue
                 if decision == "park":
-                    yield O.YieldCpu()
-                    t.stats.add("rt.parks")
+                    mode = "park"
                     continue
-                # Terminate the (restarted, empty) hardware transaction
-                # cleanly, then surface the abort to the caller.
-                yield from self.commit_tx(t)
-                raise TxAborted(rollback.code) from None
+                mode, finish = "finish", TxAborted(rollback.code)
+                continue
             except TxSignal:
                 raise  # other architectural signals go to outer wrappers
             except GeneratorExit:
@@ -224,6 +278,9 @@ class Runtime:
                     yield from self._unwind_for_exception(t)
                 t.stats.add("rt.exception_aborts")
                 raise
+        if isinstance(finish, TxAborted):
+            raise finish from None
+        raise finish
 
     def _unwind_for_exception(self, t):
         """Abort the current transaction because a runtime exception is
@@ -370,6 +427,21 @@ class Runtime:
         mask = t.isa.xvcurrent or (1 << (depth - 1))
         vaddr = t.isa.xvaddr
         target = min(lowest_level_in_mask(mask), depth)
+        # The violation may have interrupted an open-nested library or
+        # compensation transaction mid-flight.  Its speculative state —
+        # e.g. a compensation slot's not-yet-committed disarm — must not
+        # be visible to the handler walk below, or the walk skips a
+        # compensation whose effect the final rollback is about to undo
+        # (a §6b.2 re-walk would then find the entry already popped: a
+        # leak).  Kill the in-flight open run first; the undo re-arms
+        # whatever it had speculatively disarmed.
+        state = t.machine.htm.states[t.cpu_id]
+        kill = depth
+        while (kill > target and state.levels[kill - 1].open
+               and state.levels[kill - 1].status == ACTIVE):
+            kill -= 1
+        if kill < depth:
+            yield O.XRwSetClear(level=kill + 1)
         frame = tcb.frame_addr(t.cpu_id, target)
         yield t.imld(frame + tcb.VH_TOP * WORD_SIZE)  # saved base
         yield t.alu()  # compute walk bounds

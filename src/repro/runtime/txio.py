@@ -55,10 +55,25 @@ class TxIo:
         self.runtime = runtime
         self.machine = runtime.machine
         self._buffers = {}  # (cpu_id, file) -> (len_addr, flag_addr, base)
+        #: Small dense per-library file handles.  Handler-stack entries
+        #: carry the handle (they end up in simulated memory, so the key
+        #: must be schedule-deterministic — ``id(f)`` would leak a host
+        #: pointer into the memory image).
+        self._file_keys = {}
+        self._files_by_key = {}
+
+    def _file_key(self, f):
+        """The deterministic file handle (assigned in first-use order)."""
+        key = self._file_keys.get(id(f))
+        if key is None:
+            key = len(self._files_by_key) + 1
+            self._file_keys[id(f)] = key
+            self._files_by_key[key] = f
+        return key
 
     def _buffer_for(self, t, f):
         """Lazily allocate the (thread, file) private output buffer."""
-        key = (t.cpu_id, id(f))
+        key = (t.cpu_id, self._file_key(f))
         if key not in self._buffers:
             rt = t.rt
             len_addr = rt.alloc_private(1)
@@ -99,7 +114,8 @@ class TxIo:
             # and the flag's undo record re-arms it for the retry.
             yield t.imst(flag_addr, 1)
             yield from rt.register_commit_handler(
-                t, self._flush_handler, len_addr, flag_addr, base, id(f))
+                t, self._flush_handler, len_addr, flag_addr, base,
+                self._file_key(f))
         t.stats.add("txio.writes")
 
     def _flush_handler(self, t, len_addr, flag_addr, base, file_key):
@@ -132,6 +148,9 @@ class TxIo:
         # retry.  The device mutation is performed exactly once, after
         # the metadata transaction has committed.
         yield t.alu(self.machine.config.syscall_cycles)
+        hooks = getattr(self.machine, "fault_hooks", None)
+        if hooks is not None:
+            yield from hooks.on_io(t, f, "append", items)
         if t.depth() == 0:
             yield from rt.atomic(t, update_metadata)
         else:
@@ -162,6 +181,9 @@ class TxIo:
         """
         rt = self.runtime
         yield t.alu(self.machine.config.syscall_cycles)
+        hooks = getattr(self.machine, "fault_hooks", None)
+        if hooks is not None:
+            yield from hooks.on_io(t, f, "read", None)
 
         def syscall(t):
             pos = yield t.load(f.pos_addr)
@@ -177,12 +199,11 @@ class TxIo:
             t.stats.add("txio.reads_closed")
             return items
         pos, items = yield from rt.atomic_open(t, syscall)
+        key = self._file_key(f)
         yield from rt.register_violation_handler(
-            t, self._restore_pos_handler, id(f), pos)
+            t, self._restore_pos_handler, key, pos)
         yield from rt.register_abort_handler(
-            t, self._restore_pos_handler, id(f), pos)
-        self._files_by_key = getattr(self, "_files_by_key", {})
-        self._files_by_key[id(f)] = f
+            t, self._restore_pos_handler, key, pos)
         t.stats.add("txio.reads")
         return items
 

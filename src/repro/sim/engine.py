@@ -69,6 +69,13 @@ class Machine:
         self.cpus = [Cpu(cpu_id, self) for cpu_id in range(config.n_cpus)]
         self.htm.attach_violation_sink(self._on_violation)
         self.now = 0
+        #: Cold-path fault hooks (repro.faults.FaultInjector when one is
+        #: attached, else None).  Library code that wants an injectable
+        #: seam outside the engine's own methods — txio's syscalls, the
+        #: allocator — probes this attribute; with no injector attached
+        #: the probe is a single getattr on the cold path and the hot
+        #: paths are untouched.
+        self.fault_hooks = None
         self._capacity_retries = [0] * config.n_cpus
         #: Heap-backed ready queue: (resume_at, cpu_id) entries, kept for
         #: the deterministic policy so picking the next CPU is O(log n)
@@ -289,7 +296,20 @@ class Machine:
         latency = outcome.latency
         cpu.resume_at = self.now + (latency if latency > 1 else 1)
         if outcome.deschedule:
-            cpu.state = WAITING
+            self._park(cpu)
+
+    def _park(self, cpu):
+        """Deschedule ``cpu`` until a wake (the YieldCpu sleep side).
+
+        A seam: the tracer wraps this to emit ``park`` events and the
+        fault injector wraps it to flush delayed violations before the
+        CPU goes to sleep (a parked CPU must not miss its wake)."""
+        cpu.state = WAITING
+
+    def _fault_event(self, kind, cpu_id, detail):
+        """Notification seam: a fault injector just fired ``kind`` on
+        ``cpu_id``.  A no-op on the bare machine; the tracer wraps it to
+        record ``fault`` trace events."""
 
     def _advance(self, cpu):
         """Advance the top frame; returns the yielded op or None."""
@@ -442,6 +462,7 @@ class Machine:
         cpu.parked.clear()
         cpu.saved_sends.clear()
         cpu.saved_viol.clear()
+        cpu.dispatch_depth = 0
         cpu.state = DONE
         self.htm.abandon_all(cpu.cpu_id)
 

@@ -19,8 +19,12 @@ Usage::
 
 Tracing is implemented by wrapping a handful of well-defined seams
 (HtmSystem.commit / rollback_to, the violation sink, Machine.wake,
-Machine._push_dispatcher); ``detach`` restores them.  Overhead is zero
-when no tracer is attached.
+Machine._push_dispatcher, Machine._park, Machine._fault_event);
+``detach`` restores them.  Overhead is zero when no tracer is attached.
+
+``fault`` events record injections by an attached
+:class:`repro.faults.FaultInjector`; on a machine without one the kind
+simply never fires.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ class TraceEvent:
 
     cycle: int
     kind: str       # commit | violation | delivery | dispatch | rollback
-    #                 | wake | park
+    #                 | wake | park | fault
     cpu: int
     detail: dict
 
@@ -45,7 +49,8 @@ class TraceEvent:
 
 #: All traceable event kinds.
 ALL_KINDS = frozenset(
-    {"commit", "violation", "delivery", "dispatch", "rollback", "wake"})
+    {"commit", "violation", "delivery", "dispatch", "rollback", "wake",
+     "park", "fault"})
 
 
 class Tracer:
@@ -125,6 +130,22 @@ class Tracer:
 
         machine.wake = wake
 
+        self._saved["park"] = machine._park
+
+        def park(cpu, _orig=machine._park):
+            self._emit("park", cpu.cpu_id, depth=machine.htm.depth(cpu.cpu_id))
+            _orig(cpu)
+
+        machine._park = park
+
+        self._saved["fault"] = machine._fault_event
+
+        def fault(kind, cpu_id, detail, _orig=machine._fault_event):
+            self._emit("fault", cpu_id, what=kind, **detail)
+            _orig(kind, cpu_id, detail)
+
+        machine._fault_event = fault
+
     def detach(self):
         """Restore the machine's un-traced seams."""
         if not self._saved:
@@ -135,6 +156,8 @@ class Tracer:
         machine.htm.detector._sink = self._saved["sink"]
         machine._push_dispatcher = self._saved["push"]
         machine.wake = self._saved["wake"]
+        machine._park = self._saved["park"]
+        machine._fault_event = self._saved["fault"]
         self._saved = {}
 
     def __enter__(self):

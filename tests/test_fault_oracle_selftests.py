@@ -1,0 +1,88 @@
+"""Oracle self-tests: the checking machinery has teeth.
+
+Every recoverable fault kind ships a ``+broken`` variant whose recovery
+is deliberately wrong (docs/faults.md lists the sabotage per kind).  For
+each kind there is a deterministic, replayable case where:
+
+* the *clean* kind is absorbed — injections fire, zero violations — and
+* the *broken* variant is flagged by the matching oracle.
+
+A kind whose broken variant sailed through would mean the matrix's clean
+result is vacuous for that kind; this file pins each one to a concrete
+``fault:program:config:seed`` coordinate (small ``max_cycles`` budgets
+keep the deliberate-livelock variants fast).
+"""
+
+import pytest
+
+from repro.check.fuzz import run_case
+
+#: (fault kind, program, config, seed, max_cycles, oracle, symptom)
+#: ``oracle`` is the label the broken variant must be flagged under;
+#: ``symptom`` a substring of the violation/error text that names the
+#: actual anomaly (not just "something failed").
+SELF_TESTS = [
+    ("spurious-violation", "counter", "lazy-wb-assoc", 0, None,
+     "run-failure", "lost increments"),
+    ("delayed-violation", "counter", "lazy-wb-assoc", 0, None,
+     "serializability", ""),
+    ("token-loss", "counter", "lazy-wb-assoc", 0, 60_000,
+     "run-failure", "exceeded 60000 cycles"),
+    ("validated-abort", "iochaos", "lazy-wb-assoc", 2, None,
+     "invariant", ""),
+    ("handler-reentry", "requeue", "lazy-wb-assoc", 0, None,
+     "lost-wakeup", ""),
+    ("watch-drop", "counter", "lazy-wb-assoc", 0, None,
+     "serializability", ""),
+    ("io-fault", "iochaos", "lazy-wb-assoc", 0, None,
+     "compensation", ""),
+    ("alloc-pressure", "iochaos", "lazy-wb-assoc", 0, None,
+     "invariant", ""),
+]
+
+IDS = [case[0] for case in SELF_TESTS]
+
+
+@pytest.mark.parametrize(
+    "fault,program,config,seed,max_cycles,oracle,symptom",
+    SELF_TESTS, ids=IDS)
+def test_clean_kind_is_absorbed(fault, program, config, seed, max_cycles,
+                                oracle, symptom):
+    result = run_case(program, config, "det", seed, fault=fault,
+                      max_cycles=max_cycles)
+    assert not result.skipped
+    assert result.n_injections > 0, "clean case never injected"
+    assert not result.violations, str(result)
+    assert not result.error, str(result)
+
+
+@pytest.mark.parametrize(
+    "fault,program,config,seed,max_cycles,oracle,symptom",
+    SELF_TESTS, ids=IDS)
+def test_broken_variant_is_caught(fault, program, config, seed,
+                                  max_cycles, oracle, symptom):
+    result = run_case(program, config, "det", seed,
+                      fault=fault + "+broken", max_cycles=max_cycles)
+    assert not result.skipped
+    assert result.n_injections > 0, "broken case never injected"
+    oracles = {v.oracle for v in result.violations}
+    assert oracle in oracles, (
+        f"expected the {oracle} oracle to flag {fault}+broken, "
+        f"got {sorted(oracles)}: {result}")
+    if symptom:
+        text = "\n".join(str(v) for v in result.violations)
+        assert symptom in text, f"symptom {symptom!r} missing from: {text}"
+
+
+@pytest.mark.parametrize(
+    "fault,program,config,seed,max_cycles,oracle,symptom",
+    SELF_TESTS, ids=IDS)
+def test_broken_catch_is_replayable(fault, program, config, seed,
+                                    max_cycles, oracle, symptom):
+    first = run_case(program, config, "det", seed,
+                     fault=fault + "+broken", max_cycles=max_cycles)
+    replay = run_case(program, config, "det", seed,
+                      fault=fault + "+broken", max_cycles=max_cycles)
+    assert [str(v) for v in first.violations] == [
+        str(v) for v in replay.violations]
+    assert first.fired == replay.fired

@@ -1,0 +1,103 @@
+"""Trace-event pairing: the tracer's causal story is complete.
+
+The :class:`~repro.sim.trace.Tracer` is the debugging instrument for the
+paper's subtle mechanisms, so its event stream must be *pairable*: a
+delivery implies a prior violation post, a rollback implies a prior
+handler dispatch on the same CPU, and — the lost-wakeup axis — every
+``park`` (a CPU descheduling itself) is matched by a later ``wake``.
+``fault`` events must account for every injection an attached
+:class:`~repro.faults.FaultInjector` performed.
+"""
+
+from repro.check.fuzz import build_config
+from repro.check.programs import make_program
+from repro.faults import FaultInjector, make_plan
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.sim.schedule import make_policy
+from repro.sim.trace import Tracer
+
+
+def _traced_run(program_name, config_name, seed=1, fault=None):
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    machine = Machine(config, policy=make_policy("det", seed=seed))
+    injector = (FaultInjector(make_plan(fault, seed), machine)
+                if fault else None)
+    tracer = Tracer(machine)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    program.setup(machine, runtime, arena)
+    machine.run(max_cycles=program.max_cycles)
+    program.verify(machine)
+    tracer.detach()
+    if injector is not None:
+        injector.detach()
+    return tracer, injector
+
+
+def test_every_delivery_has_a_prior_violation_post():
+    tracer, _ = _traced_run("counter", "lazy-wb-assoc")
+    assert tracer.of_kind("delivery"), "workload produced no deliveries"
+    posts = {}
+    for event in tracer.events:
+        if event.kind == "violation":
+            posts[event.cpu] = posts.get(event.cpu, 0) + 1
+        elif event.kind == "delivery":
+            # Coalescing means posts >= deliveries, never the reverse.
+            assert posts.get(event.cpu, 0) > 0, (
+                f"delivery on cpu{event.cpu} at cycle {event.cycle} "
+                f"without a prior violation post")
+
+
+def test_every_rollback_has_a_prior_dispatch():
+    tracer, _ = _traced_run("counter", "eager-wb")
+    assert tracer.of_kind("rollback"), "workload produced no rollbacks"
+    dispatched = set()
+    for event in tracer.events:
+        if event.kind == "dispatch":
+            dispatched.add(event.cpu)
+        elif event.kind == "rollback":
+            assert event.cpu in dispatched, (
+                f"rollback on cpu{event.cpu} at cycle {event.cycle} "
+                f"before any handler dispatch")
+
+
+def test_every_park_is_matched_by_a_wake():
+    tracer, _ = _traced_run("condsync", "lazy-wb-assoc")
+    parks = tracer.of_kind("park")
+    assert parks, "condsync produced no park events"
+    unmatched = {}
+    for event in tracer.events:
+        if event.kind == "park":
+            unmatched[event.cpu] = unmatched.get(event.cpu, 0) + 1
+        elif event.kind == "wake" and unmatched.get(event.cpu):
+            unmatched[event.cpu] -= 1
+    stuck = {cpu: n for cpu, n in unmatched.items() if n}
+    assert not stuck, f"parks never woken: {stuck}"
+
+
+def test_fault_events_account_for_every_injection():
+    tracer, injector = _traced_run("counter", "lazy-wb-assoc",
+                                   fault="spurious-violation")
+    faults = tracer.of_kind("fault")
+    assert injector.n_injections > 0
+    assert len(faults) == injector.n_injections
+    assert all(e.detail["what"] == "spurious-violation" for e in faults)
+    # The trace and the plan agree on who was hit.
+    assert [e.cpu for e in faults] == [cpu for _, cpu, _ in
+                                       injector.plan.fired]
+
+
+def test_detach_stops_recording():
+    program = make_program("counter", seed=1)
+    config = build_config("lazy-wb-assoc", program)
+    machine = Machine(config, policy=make_policy("det", seed=1))
+    tracer = Tracer(machine)
+    tracer.detach()
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    program.setup(machine, runtime, arena)
+    machine.run(max_cycles=program.max_cycles)
+    assert tracer.events == []
