@@ -24,6 +24,7 @@ from repro.check.programs import PROGRAMS, CheckProgram, make_program
 from repro.check.fuzz import (
     CONFIGS,
     CaseResult,
+    chaos_sweep,
     run_case,
     shrink_change_points,
     summarize,
@@ -42,6 +43,7 @@ __all__ = [
     "check_exact_count",
     "check_invariant",
     "check_lost_wakeups",
+    "chaos_sweep",
     "check_serializability",
     "find_cycle",
     "make_program",

@@ -42,6 +42,7 @@ from repro.common.params import (
     functional_config,
 )
 from repro.faults import FAULT_KINDS, FAULT_NAMES, FaultInjector, make_plan
+from repro.harness.parallel import CaseSpec, run_campaign
 from repro.mem.layout import SharedArena
 from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
@@ -204,54 +205,100 @@ def run_case(program_name, config_name, policy_name, seed,
     )
 
 
-def sweep(programs=None, configs=None, policies=POLICIES, seeds=3,
-          fault=None, timing_seeds=1, report=None):
-    """The full product sweep; returns a list of :class:`CaseResult`.
+def case_spec(program_name, config_name, policy_name, seed, fault=None):
+    """The picklable :class:`CaseSpec` for one fuzz/chaos case.
 
-    ``seeds`` counts per (program, config, policy); timing configs (the
-    slow ones) get ``timing_seeds``.  ``report``, if given, is called with
-    each finished :class:`CaseResult` (progress streaming).
+    Carries exactly the replayable quadruple (plus the fault axis), so a
+    campaign can be sharded across processes without changing any
+    result — each worker re-derives everything from the name.
     """
+    name = (f"{fault}:{program_name}:{config_name}:{seed}" if fault
+            else f"{program_name}:{config_name}:{policy_name}:{seed}")
+    return CaseSpec(
+        runner="repro.check.fuzz:run_case", name=name,
+        args=(program_name, config_name, policy_name, seed),
+        kwargs=((("fault", fault),) if fault is not None else ()))
+
+
+def case_failure(spec, message):
+    """Classify a crashed, hung, or raising case as a ``run-failure``.
+
+    This is the campaign boundary: :func:`run_case` itself only handles
+    :class:`ReproError` (anything else is a harness or program bug), and
+    here that bug becomes one failed :class:`CaseResult` instead of
+    sinking the whole matrix.
+    """
+    program_name, config_name, policy_name, seed = spec.args
+    return CaseResult(
+        program_name, config_name, policy_name, seed,
+        violations=[OracleViolation("run-failure", message)],
+        error=message, fault=dict(spec.kwargs).get("fault"))
+
+
+def enumerate_sweep(programs=None, configs=None, policies=POLICIES,
+                    seeds=3, fault=None, timing_seeds=1):
+    """Yield the sweep's :class:`CaseSpec` tuples in canonical order."""
     programs = list(programs) if programs else sorted(PROGRAMS)
     configs = list(configs) if configs else list(CONFIGS)
-    results = []
     for program_name in programs:
         for config_name in configs:
             depth = seeds if config_name in FAST_CONFIGS else min(
                 seeds, timing_seeds)
             for policy_name in policies:
                 for seed in range(1, depth + 1):
-                    result = run_case(program_name, config_name,
-                                      policy_name, seed, fault=fault)
-                    results.append(result)
-                    if report is not None:
-                        report(result)
-    return results
+                    yield case_spec(program_name, config_name,
+                                    policy_name, seed, fault=fault)
+
+
+def enumerate_chaos(faults=None, programs=None, configs=None, seeds=2):
+    """Yield the chaos matrix's :class:`CaseSpec` tuples in order."""
+    faults = list(faults) if faults else list(CHAOS_FAULTS)
+    programs = list(programs) if programs else sorted(PROGRAMS)
+    configs = list(configs) if configs else list(FAST_CONFIGS)
+    for fault in faults:
+        for program_name in programs:
+            for config_name in configs:
+                for seed in range(1, seeds + 1):
+                    yield case_spec(program_name, config_name, "det",
+                                    seed, fault=fault)
+
+
+def sweep(programs=None, configs=None, policies=POLICIES, seeds=3,
+          fault=None, timing_seeds=1, report=None, jobs=1, timeout=None):
+    """The full product sweep; returns a list of :class:`CaseResult`.
+
+    ``seeds`` counts per (program, config, policy); timing configs (the
+    slow ones) get ``timing_seeds``.  ``report``, if given, is called with
+    each finished :class:`CaseResult` (progress streaming, in canonical
+    order).  ``jobs`` fans the campaign out across worker processes —
+    every case is a pure function of its name, so the result list is
+    identical to the serial one.  ``timeout`` bounds each case in
+    seconds; a case that exceeds it (or crashes its worker) yields a
+    ``run-failure`` result instead of aborting the campaign.
+    """
+    return run_campaign(
+        enumerate_sweep(programs=programs, configs=configs,
+                        policies=policies, seeds=seeds, fault=fault,
+                        timing_seeds=timing_seeds),
+        jobs=jobs, timeout=timeout, report=report,
+        failure_result=case_failure)
 
 
 def chaos_sweep(faults=None, programs=None, configs=None, seeds=2,
-                report=None):
+                report=None, jobs=1, timeout=None):
     """The chaos matrix: fault × program × config × seed, det schedule.
 
     Defaults to the recoverable :data:`CHAOS_FAULTS` over the fast
     configs — the acceptance bar is *zero* oracle violations.  The
     schedule policy is pinned to ``det`` so a chaos case is replayable
-    from its ``fault:program:config:seed`` name alone.
+    from its ``fault:program:config:seed`` name alone.  ``jobs`` and
+    ``timeout`` behave as in :func:`sweep`.
     """
-    faults = list(faults) if faults else list(CHAOS_FAULTS)
-    programs = list(programs) if programs else sorted(PROGRAMS)
-    configs = list(configs) if configs else list(FAST_CONFIGS)
-    results = []
-    for fault in faults:
-        for program_name in programs:
-            for config_name in configs:
-                for seed in range(1, seeds + 1):
-                    result = run_case(program_name, config_name, "det",
-                                      seed, fault=fault)
-                    results.append(result)
-                    if report is not None:
-                        report(result)
-    return results
+    return run_campaign(
+        enumerate_chaos(faults=faults, programs=programs,
+                        configs=configs, seeds=seeds),
+        jobs=jobs, timeout=timeout, report=report,
+        failure_result=case_failure)
 
 
 def injection_totals(results):

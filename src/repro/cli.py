@@ -215,6 +215,8 @@ def cmd_check(args):
         seeds=args.seeds,
         fault=fault,
         report=(print if args.verbose else None),
+        jobs=args.jobs,
+        timeout=args.timeout or None,
     )
     n_run, n_skipped, failures = summarize(results)
     print(f"check: {n_run} cases run, {n_skipped} skipped, "
@@ -274,6 +276,8 @@ def cmd_chaos(args):
         configs=pick(args.configs, CONFIGS, "config"),
         seeds=args.seeds,
         report=(print if args.verbose else None),
+        jobs=args.jobs,
+        timeout=args.timeout or None,
     )
     n_run, n_skipped, failures = summarize(results)
     totals = injection_totals(results)
@@ -371,6 +375,9 @@ def build_parser():
                    help="fail unless the flagship speedup reaches this")
     p.add_argument("--update-golden", action="store_true",
                    help="rewrite the golden cycle counts from this run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the golden-cycle matrix "
+                        "(the flagship speedup always runs serially)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -392,6 +399,12 @@ def build_parser():
                         "known bug the oracles must catch)")
     p.add_argument("--replay", default="",
                    help="re-run one case as program:config:policy:seed")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep (default 1; "
+                        "results are identical at any job count)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-case budget in seconds; a case over budget "
+                        "becomes a run-failure result (default: none)")
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it finishes")
     p.set_defaults(fn=cmd_check)
@@ -411,6 +424,12 @@ def build_parser():
                         "four)")
     p.add_argument("--replay", default="",
                    help="re-run one case as fault:program:config:seed")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the matrix (default 1; "
+                        "results are identical at any job count)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-case budget in seconds; a case over budget "
+                        "becomes a run-failure result (default: none)")
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it finishes")
     p.set_defaults(fn=cmd_chaos)

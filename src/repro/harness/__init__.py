@@ -15,6 +15,12 @@ from repro.harness.export import (
     rows_to_csv,
     scaling_to_dicts,
 )
+from repro.harness.parallel import (
+    CampaignFailure,
+    CaseSpec,
+    CaseTimeout,
+    run_campaign,
+)
 from repro.harness.profile import Profile, format_profiles, profile_machine
 from repro.harness.txstats import (
     TxStatsCollector,
@@ -34,6 +40,10 @@ from repro.harness.report import (
 )
 
 __all__ = [
+    "CampaignFailure",
+    "CaseSpec",
+    "CaseTimeout",
+    "run_campaign",
     "NestingComparison",
     "Profile",
     "format_profiles",

@@ -33,6 +33,7 @@ import os
 import time
 
 from repro.common.params import functional_config, paper_config
+from repro.harness.parallel import CaseSpec, run_campaign
 from repro.mem.layout import SharedArena
 from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
@@ -106,6 +107,27 @@ def run_cell(factory, config, max_cycles=2_000_000_000):
     }
 
 
+def run_cell_by_id(cell_id):
+    """Run one matrix cell named by its id (the parallel path's runner).
+
+    The cell id fully determines the workload and config, so a worker
+    process reconstructs the cell from the name alone — and the
+    per-phase wall-clock numbers stay honest because :func:`run_cell`
+    times each phase inside the worker that runs it.
+    """
+    for candidate, factory, config_factory in matrix_cells(smoke=False):
+        if candidate == cell_id:
+            result = run_cell(factory, config_factory())
+            result["id"] = cell_id
+            return result
+    raise ValueError(f"unknown bench cell {cell_id!r}")
+
+
+def _cell_failure(spec, message):
+    return {"id": spec.name, "cycles": None, "steps": None, "phases": {},
+            "steps_per_s": None, "error": message}
+
+
 def run_flagship(repeat=3):
     """Run the flagship cell under both detector implementations.
 
@@ -156,16 +178,29 @@ def load_golden():
 
 
 def run_bench(smoke=False, repeat=3, update_golden=False,
-              min_speedup=0.0, report=print):
-    """Run the matrix + flagship; returns (results dict, list of errors)."""
+              min_speedup=0.0, report=print, jobs=1):
+    """Run the matrix + flagship; returns (results dict, list of errors).
+
+    ``jobs`` fans the golden-cycle matrix out across worker processes;
+    cycle counts are simulated, so parallelism cannot perturb them, and
+    the per-cell phase timings are taken inside each worker.  The
+    flagship speedup measurement always runs serially — it compares
+    wall-clock throughput, which co-running cells would distort.
+    """
     golden = {} if update_golden else load_golden()
     errors = []
     cells = []
-    for cell_id, factory, config_factory in matrix_cells(smoke=smoke):
-        result = run_cell(factory, config_factory())
-        result["id"] = cell_id
+
+    def finish_cell(result):
+        cell_id = result["id"]
         expected = golden.get(cell_id)
         result["golden_cycles"] = expected
+        if result.get("error"):
+            result["ok"] = False
+            errors.append(f"{cell_id}: {result['error']}")
+            report(f"  {cell_id:<22} run FAILED: {result['error']}")
+            cells.append(result)
+            return
         result["ok"] = expected is None or result["cycles"] == expected
         if expected is None and not update_golden:
             errors.append(f"{cell_id}: no golden cycle count on record")
@@ -176,6 +211,12 @@ def run_bench(smoke=False, repeat=3, update_golden=False,
         report(f"  {cell_id:<22} {result['cycles']:>9} cycles  "
                f"{result['steps_per_s'] or 0:>8,} steps/s  "
                f"{'ok' if result['ok'] else 'MISMATCH'}")
+
+    specs = [CaseSpec(runner="repro.harness.bench:run_cell_by_id",
+                      name=cell_id, args=(cell_id,))
+             for cell_id, _, _ in matrix_cells(smoke=smoke)]
+    run_campaign(specs, jobs=jobs, report=finish_cell,
+                 failure_result=_cell_failure)
 
     report(f"  {FLAGSHIP_ID}: indexed vs naive detectors "
            f"(best of {repeat})...")
@@ -226,7 +267,8 @@ def cmd_bench(args):
     print("bench: cycle-equality matrix + detector speedup")
     results, errors = run_bench(
         smoke=args.smoke, repeat=args.repeat,
-        update_golden=args.update_golden, min_speedup=args.min_speedup)
+        update_golden=args.update_golden, min_speedup=args.min_speedup,
+        jobs=args.jobs)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")

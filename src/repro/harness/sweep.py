@@ -3,8 +3,16 @@
 The paper reports single 8-CPU points (with sequential-relative
 annotations); a downstream user of this simulator will want the whole
 curve and config cross-products.  ``speedup_curve`` runs a workload at
-several CPU counts against its 1-CPU sequential run; ``config_sweep``
-runs one workload across arbitrary config overrides.
+several CPU counts against an explicit 1-CPU sequential baseline;
+``config_sweep`` runs one workload across arbitrary config overrides
+and returns digested :class:`~repro.harness.profile.Profile` objects.
+
+Both accept ``jobs``: each point is an independent deterministic
+simulation, so the curve fans out across worker processes without
+changing a single cycle (see :mod:`repro.harness.parallel`).  The
+workload factory is a closure, so the parallel path ships it to workers
+by fork inheritance (``payload=``); where forking is unavailable the
+sweep silently runs serially.
 """
 
 from __future__ import annotations
@@ -12,58 +20,109 @@ from __future__ import annotations
 import dataclasses
 
 from repro.common.params import paper_config
+from repro.harness.parallel import CaseSpec, run_campaign
+from repro.harness.profile import profile_machine
 from repro.harness.report import format_table
 
 
 @dataclasses.dataclass
 class SpeedupPoint:
+    """One curve point.  ``n_cpus`` is the requested thread count (the
+    point's label); ``actual_cpus`` is what the machine really had —
+    they differ when the workload's ``min_cpus()`` floor kicks in."""
+
     n_cpus: int
     cycles: int
     speedup: float
+    actual_cpus: int = None
+
+    def __post_init__(self):
+        if self.actual_cpus is None:
+            self.actual_cpus = self.n_cpus
+
+
+class SweepCaseError(RuntimeError):
+    """A sweep point failed (crash, timeout, or workload error)."""
+
+
+def _sweep_failure(spec, message):
+    raise SweepCaseError(f"{spec.name}: {message}")
+
+
+def _run_speedup_point(workload_factory, n, overrides, max_cycles):
+    workload = workload_factory(n)
+    actual_cpus = max(n, workload.min_cpus())
+    machine = workload.run(
+        paper_config(n_cpus=actual_cpus, **overrides),
+        max_cycles=max_cycles)
+    return n, actual_cpus, machine.stats.get("cycles")
 
 
 def speedup_curve(workload_factory, cpu_counts=(1, 2, 4, 8, 16),
-                  config_overrides=None, max_cycles=2_000_000_000):
+                  config_overrides=None, max_cycles=2_000_000_000,
+                  jobs=1):
     """Speedup over 1-CPU sequential execution at each CPU count.
 
     ``workload_factory(n_threads)`` builds a fresh workload; the total
     work is fixed (the workload divides it among threads), so this is a
-    strong-scaling curve.
+    strong-scaling curve.  The baseline is always an explicit
+    ``workload_factory(1)`` run — even when 1 is not in ``cpu_counts``
+    — so every ``speedup`` really is "vs 1 CPU", and each point records
+    the CPU count the machine actually had (``actual_cpus``), which the
+    workload's ``min_cpus()`` floor may raise above the label.
     """
     overrides = dict(config_overrides or {})
-    points = []
-    base_cycles = None
-    for n in cpu_counts:
-        workload = workload_factory(n)
-        machine = workload.run(
-            paper_config(n_cpus=max(n, workload.min_cpus()), **overrides),
-            max_cycles=max_cycles)
-        cycles = machine.stats.get("cycles")
-        if base_cycles is None:
-            base_cycles = cycles
-        points.append(SpeedupPoint(
-            n_cpus=n, cycles=cycles, speedup=base_cycles / cycles))
-    return points
+    counts = [1] + [n for n in cpu_counts if n != 1]
+    specs = [CaseSpec(runner="repro.harness.parallel:call_payload",
+                      name=f"speedup:{n}cpu", args=("point", n))
+             for n in counts]
+    payload = {"point": lambda n: _run_speedup_point(
+        workload_factory, n, overrides, max_cycles)}
+    outcomes = run_campaign(specs, jobs=jobs, payload=payload,
+                            failure_result=_sweep_failure)
+    by_count = {n: (actual, cycles) for n, actual, cycles in outcomes}
+    base_cycles = by_count[1][1]
+    return [SpeedupPoint(n_cpus=n, cycles=by_count[n][1],
+                         speedup=base_cycles / by_count[n][1],
+                         actual_cpus=by_count[n][0])
+            for n in cpu_counts]
 
 
 def format_speedup_curve(points, title):
-    rows = [(p.n_cpus, p.cycles, f"{p.speedup:.2f}x") for p in points]
+    rows = [(p.n_cpus
+             if p.actual_cpus == p.n_cpus
+             else f"{p.n_cpus} (ran on {p.actual_cpus})",
+             p.cycles, f"{p.speedup:.2f}x") for p in points]
     return format_table(["CPUs", "cycles", "speedup vs 1 CPU"], rows,
                         title=title)
 
 
+def _run_config_point(workload_factory, label, overrides, n_cpus,
+                      max_cycles):
+    workload = workload_factory(n_cpus)
+    machine = workload.run(
+        paper_config(n_cpus=max(n_cpus, workload.min_cpus()),
+                     **overrides),
+        max_cycles=max_cycles)
+    return label, profile_machine(machine)
+
+
 def config_sweep(workload_factory, axes, n_cpus=8,
-                 max_cycles=2_000_000_000):
+                 max_cycles=2_000_000_000, jobs=1):
     """Run one workload across configuration variants.
 
     ``axes`` is a list of (label, overrides-dict); returns
-    ``{label: machine}``.
+    ``{label: Profile}`` — the digested per-run statistics, not the
+    machine itself, so a wide sweep holds no caches or histories in
+    memory and its results travel across process boundaries.
     """
-    results = {}
-    for label, overrides in axes:
-        workload = workload_factory(n_cpus)
-        results[label] = workload.run(
-            paper_config(n_cpus=max(n_cpus, workload.min_cpus()),
-                         **overrides),
-            max_cycles=max_cycles)
-    return results
+    axes = list(axes)
+    specs = [CaseSpec(runner="repro.harness.parallel:call_payload",
+                      name=f"config:{label}", args=("axis", index))
+             for index, (label, _) in enumerate(axes)]
+    payload = {"axis": lambda index: _run_config_point(
+        workload_factory, axes[index][0], axes[index][1], n_cpus,
+        max_cycles)}
+    outcomes = run_campaign(specs, jobs=jobs, payload=payload,
+                            failure_result=_sweep_failure)
+    return dict(outcomes)

@@ -161,8 +161,10 @@ class TestSweep:
             axes=[("plain", {}), ("msi", {"coherence": "msi"})],
             n_cpus=2)
         assert set(results) == {"plain", "msi"}
-        for machine in results.values():
-            assert machine.stats.get("cycles") > 0
+        # digested Profile objects, not live machines
+        for profile in results.values():
+            assert profile.cycles > 0
+            assert profile.total_commits > 0
 
 
 class TestExport:
