@@ -1,0 +1,867 @@
+"""Exhaustive schedule-space exploration: a stateless model checker.
+
+The fuzzer (:mod:`repro.check.fuzz`) *samples* interleavings; this
+module *enumerates* them.  Every run of the simulator is a pure function
+of ``(program, config, fault, seed, schedule)``, and a schedule is fully
+determined by the sequence of choices the engine's
+:class:`~repro.sim.schedule.SchedulePolicy` makes — so the checker
+explores the schedule space the way stateless model checkers do
+(Godefroid's VeriSoft): re-run the program from the start under a
+:class:`~repro.sim.schedule.ControlledPolicy` that replays a chosen
+*prefix* of scheduling decisions and records the in-window alternatives
+at every choice point, then branch on the recorded alternatives.
+
+**Enumeration.**  The root node is the empty prefix — the deterministic
+schedule.  After running a node's prefix ``P`` to completion (trace
+``T``), each step ``i >= len(P)`` with an unexplored alternative ``a``
+spawns the child prefix ``T[:i] + (a,)``.  Every child deviates from
+its parent's continuation at exactly one new point, so generation ``b``
+of the search contains exactly the schedules reachable with ``b``
+forced deviations from the deterministic pick — and iterating the
+generations ``0, 1, .., bound`` is *iterative preemption bounding* in
+the delay-bounding style of CHESS (Musuvathi & Qadeer): shallow bugs
+surface first, and ``bound = 0`` is precisely the fuzzer's ``det``
+schedule.  Each complete schedule is visited exactly once (two distinct
+prefixes always complete to distinct choice sequences).
+
+**Pruning.**  Exploring both orders of two *independent* steps is
+wasted work (they commute), so each branch seeds its child with a
+*sleep set* (Godefroid): the siblings already explored at that state,
+remembered with their read/write **footprints** at the hardware's
+conflict-unit granularity.  A sleeping CPU is skipped by the default
+pick until an executed step is *dependent* on its entry (footprints
+overlap on a unit, or either is a global action); if every candidate is
+asleep the run is abandoned (:class:`~repro.sim.schedule.SchedulePruned`)
+— that continuation is covered elsewhere.  Dependence is judged
+conservatively but at unit granularity: transactional loads/stores that
+PROCEED touch one unit; a commit touches its published write-set plus a
+``TOKEN`` pseudo-unit that serializes the whole commit path (validates,
+devalidates and rollbacks touch TOKEN too, rollbacks also their
+retracted units); serial-mode transitions, wakes and any
+stalled/aborted access are *global* (dependent with everything); a
+posted violation is a targeted *delivery* to its victim, which wakes
+any sleep entry for that CPU.  A non-running CPU's pending footprint is
+inferred from
+the first later step where it ran, invalidated by any intervening
+delivery (wake or violation) to it — a CPU's next operation is fixed by
+its own last step until it runs again or receives a delivery, which is
+what makes the estimate sound.  Unknown footprints never enter a sleep
+set.
+
+Pruning is enabled only where it is sound:
+
+* **Lazy detection only.**  Eager arbitration compares transaction
+  timestamps (``htm/conflict.py``), and timestamps shift when
+  independent steps reorder — so on ``eager-*`` configs the checker
+  explores unpruned.  (Lazy arbitration is commit order, and the ``TOKEN``
+  pseudo-unit keeps every pair of commit-path actions ordered.)
+* **No fault injection.**  An injector perturbs runs through state the
+  footprints do not model, so fault exploration is unpruned too.
+* Sleep sets guarantee *coverage of every Mazurkiewicz class* only for
+  unbounded exploration; under a finite ``preemption_bound`` a pruned
+  branch's representative may need more deviations than the bound
+  allows.  ``prune=False`` restores plain bounded enumeration.
+
+**Counterexamples.**  A failing schedule is reported as its *deviation
+list* — the ``(step, cpu)`` pairs where it departs from the
+deterministic pick — which replays exactly (:func:`replay`, CLI
+``python -m repro explore --replay prog:config:3@1,7@0``) and shrinks
+through the same greedy loop as the fuzzer's change-points
+(:func:`repro.check.fuzz.shrink_change_points`).
+
+**Parallelism.**  Each generation is a wave of independent node runs —
+worker-disjoint subtree claims — sharded across processes with
+:class:`~repro.harness.parallel.WorkerPool` and merged in enumeration
+order, so ``--jobs N`` produces the identical schedule/verdict sequence
+as a serial run.
+
+The explorer uses the fuzzer's candidate window
+(:data:`~repro.sim.schedule.DEFAULT_WINDOW`): the explored space is
+exactly the interleavings the randomized policies can reach, and the
+finite window doubles as the termination guarantee under sleep sets —
+a CPU spinning on units independent of every sleep entry advances its
+local time until the sleeper is the only in-window candidate, at which
+point the run prunes instead of starving it forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ReproError
+from repro.common.params import LAZY
+from repro.htm.conflict import PROCEED
+from repro.faults import FaultInjector, make_plan
+from repro.harness.parallel import CaseSpec, WorkerPool, run_campaign
+from repro.mem.layout import SharedArena
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.sim.schedule import (
+    DEFAULT_WINDOW,
+    ControlledPolicy,
+    SchedulePruned,
+)
+
+from repro.check.fuzz import (
+    CONFIGS,
+    FAULTS,
+    build_config,
+    collect_violations,
+)
+from repro.check.history import HistoryRecorder
+from repro.check.oracles import OracleViolation
+from repro.check.programs import make_program
+
+#: The explorer's candidate window (cycles) — the fuzzer's default.  A
+#: *finite* window is what guarantees termination under sleep sets: a
+#: CPU spinning on a unit independent of every sleep entry advances its
+#: local time until the sleeper is the only in-window candidate, at
+#: which point the run prunes instead of livelocking.  (An infinite
+#: window starves the sleeper forever and hits the cycle limit.)  The
+#: deterministic pick is window-independent, so bound 0 still equals
+#: the fuzzer's ``det`` schedule.
+EXPLORE_WINDOW = DEFAULT_WINDOW
+
+_EMPTY = frozenset()
+
+#: Pseudo-unit serializing the commit path: commits, validates,
+#: devalidates and rollbacks all touch it, so their mutual order is
+#: never treated as exchangeable.  Real units are non-negative address
+#: or line indices, so -1 can never collide.
+TOKEN = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Footprint:
+    """What one scheduling step touched, at conflict-unit granularity.
+
+    ``global_`` marks actions ordered against everything (serial-mode
+    transitions, wakes, any stalled/aborted access, non-transactional
+    publishing stores): they are dependent with every other step.
+    Commits are *not* global: a commit's footprint is its published
+    write-set plus the :data:`TOKEN` pseudo-unit, so it commutes with
+    accesses to unrelated units.
+    """
+
+    reads: frozenset = _EMPTY
+    writes: frozenset = _EMPTY
+    global_: bool = False
+
+    def depends(self, other):
+        """Conservative dependence: do the two steps fail to commute?"""
+        if self.global_ or other.global_:
+            return True
+        return bool(self.writes & (other.reads | other.writes)
+                    or other.writes & (self.reads | self.writes))
+
+
+GLOBAL_FOOTPRINT = Footprint(global_=True)
+
+
+def _encode_sleep(entries):
+    """dict cpu -> (Footprint, active_from)  =>  picklable spec tuple.
+
+    ``active_from`` is the step index at which the entry's coverage
+    claim starts: the recorder's live removal only considers steps at or
+    past it, so an entry inherited through a replayed prefix is not
+    erased by steps that logically precede its creation.
+    """
+    return tuple(
+        (cpu, active_from,
+         tuple(sorted(fp.reads)), tuple(sorted(fp.writes)))
+        for cpu, (fp, active_from) in sorted(entries.items()))
+
+
+def _decode_sleep(encoded):
+    return {cpu: (Footprint(frozenset(reads), frozenset(writes)),
+                  active_from)
+            for cpu, active_from, reads, writes in encoded}
+
+
+class StepRecorder:
+    """Per-step footprint/delivery recorder and live sleep-set updater.
+
+    Attaches to the same :class:`~repro.htm.system.HtmSystem` seams the
+    :class:`~repro.check.history.HistoryRecorder` wraps (plus
+    ``Machine.wake`` and the violation sink) and closes one footprint
+    per scheduling step via the engine's ``step_hook``.  While running,
+    any step dependent on a sleep entry — or delivering to it — wakes
+    that entry (``policy.sleep``), keeping the pruning sound.
+    """
+
+    def __init__(self, machine, policy, sleep_entries=None,
+                 sleep_from=0):
+        self.machine = machine
+        self.policy = policy
+        self.sleep_from = sleep_from
+        #: Live sleep entries: cpu -> (Footprint of its covered pending
+        #: op, step index the coverage claim starts at).
+        self._sleep = dict(sleep_entries or {})
+        #: Closed per-step records, index-aligned with ``policy.choices``.
+        self.footprints = []
+        self.deliveries = []
+        #: Sleep-entry snapshot *before* each step executed.
+        self.sleep_before = []
+        self._acc_reads = set()
+        self._acc_writes = set()
+        self._acc_delivered = set()
+        self._acc_global = False
+        #: Per-CPU accumulated speculative units (reads, writes) of the
+        #: live transaction(s) — what a commit publishes and a rollback
+        #: retracts.  Conservative supersets: never trimmed on partial
+        #: rollback, cleared only when the CPU leaves transactional mode.
+        self._cpu_reads = {cpu.cpu_id: set() for cpu in machine.cpus}
+        self._cpu_writes = {cpu.cpu_id: set() for cpu in machine.cpus}
+        self._saved = {}
+        self._attach()
+
+    # ------------------------------------------------------------------
+
+    def _unit(self, cpu_id, addr):
+        return self.machine.htm.states[cpu_id].rwsets.unit_of(addr)
+
+    def _close_step(self, cpu):
+        """Engine ``step_hook``: seal the step that just executed."""
+        self.sleep_before.append(dict(self._sleep))
+        footprint = Footprint(
+            frozenset(self._acc_reads), frozenset(self._acc_writes),
+            self._acc_global)
+        delivered = frozenset(self._acc_delivered)
+        self.footprints.append(footprint)
+        self.deliveries.append(delivered)
+        self._acc_reads.clear()
+        self._acc_writes.clear()
+        self._acc_delivered.clear()
+        self._acc_global = False
+        if self._sleep:
+            # A dependent step — or a delivery, which changes the
+            # sleeper's pending op — invalidates the entry's coverage
+            # claim, so the sleeper becomes schedulable again.  Steps
+            # before an entry's ``active_from`` logically precede its
+            # creation and are ignored.
+            step_index = len(self.footprints) - 1
+            for cpu in list(self._sleep):
+                fp, active_from = self._sleep[cpu]
+                if step_index < active_from:
+                    continue
+                if cpu in delivered or footprint.depends(fp):
+                    del self._sleep[cpu]
+                    self.policy.sleep.discard(cpu)
+
+    # ------------------------------------------------------------------
+
+    def _attach(self):
+        machine = self.machine
+        htm = machine.htm
+        if machine.step_hook is not None:
+            raise RuntimeError("machine already has a step_hook")
+        machine.step_hook = self._close_step
+
+        self._saved["load"] = htm.load
+
+        def load(cpu_id, addr, _orig=htm.load):
+            action, value = _orig(cpu_id, addr)
+            if action == PROCEED:
+                unit = self._unit(cpu_id, addr)
+                self._acc_reads.add(unit)
+                if htm.states[cpu_id].levels:
+                    self._cpu_reads[cpu_id].add(unit)
+            else:
+                self._acc_global = True
+            return action, value
+
+        htm.load = load
+
+        self._saved["store"] = htm.store
+
+        def store(cpu_id, addr, value, _orig=htm.store):
+            action = _orig(cpu_id, addr, value)
+            if action != PROCEED:
+                self._acc_global = True
+            elif htm.states[cpu_id].levels:
+                unit = self._unit(cpu_id, addr)
+                self._acc_writes.add(unit)
+                self._cpu_writes[cpu_id].add(unit)
+            else:
+                # Non-transactional store: a one-word commit under
+                # strong atomicity — a publishing (global) action.
+                self._acc_global = True
+            return action
+
+        htm.store = store
+
+        self._saved["im_load"] = htm.im_load
+
+        def im_load(cpu_id, addr, _orig=htm.im_load):
+            self._acc_reads.add(self._unit(cpu_id, addr))
+            return _orig(cpu_id, addr)
+
+        htm.im_load = im_load
+
+        self._saved["im_store"] = htm.im_store
+
+        def im_store(cpu_id, addr, value, _orig=htm.im_store):
+            self._acc_writes.add(self._unit(cpu_id, addr))
+            return _orig(cpu_id, addr, value)
+
+        htm.im_store = im_store
+
+        self._saved["im_store_id"] = htm.im_store_id
+
+        def im_store_id(cpu_id, addr, value, _orig=htm.im_store_id):
+            self._acc_writes.add(self._unit(cpu_id, addr))
+            return _orig(cpu_id, addr, value)
+
+        htm.im_store_id = im_store_id
+
+        self._saved["release"] = htm.release
+
+        def release(cpu_id, addr, _orig=htm.release):
+            # Dropping a read-set entry changes future conflict
+            # detection on the unit: record it as an access.
+            self._acc_writes.add(self._unit(cpu_id, addr))
+            return _orig(cpu_id, addr)
+
+        htm.release = release
+
+        # `begin` stays local: it touches only the CPU's own state plus
+        # the diagnostic txid counter (never consulted by lazy
+        # arbitration — the only mode that prunes).
+        #
+        # The commit path is unit-scoped rather than global: a commit
+        # publishes its accumulated write-set (dependent with any access
+        # to those units) and serializes on TOKEN against every other
+        # commit-path action.  Victims it violates are covered by the
+        # write-set overlap plus the delivery marks from the sink wrap.
+        self._saved["commit"] = htm.commit
+
+        def commit(cpu_id, _orig=htm.commit):
+            self._acc_reads.add(TOKEN)
+            self._acc_writes.add(TOKEN)
+            self._acc_writes.update(self._cpu_writes[cpu_id])
+            result = _orig(cpu_id)
+            if not htm.states[cpu_id].levels:
+                self._cpu_reads[cpu_id].clear()
+                self._cpu_writes[cpu_id].clear()
+            return result
+
+        htm.commit = commit
+
+        for name in ("validate", "devalidate"):
+            self._saved[name] = getattr(htm, name)
+
+            def token_wrapper(*args, _orig=getattr(htm, name), **kwargs):
+                self._acc_reads.add(TOKEN)
+                self._acc_writes.add(TOKEN)
+                return _orig(*args, **kwargs)
+
+            setattr(htm, name, token_wrapper)
+
+        # A rollback retracts the transaction's index entries: dependent
+        # with commits probing those units (and with the commit path via
+        # TOKEN), independent of accesses to unrelated units.  The
+        # accumulated sets are conservative supersets of what the
+        # rollback actually discards.
+        for name in ("rollback_to", "abandon_all"):
+            self._saved[name] = getattr(htm, name)
+
+            def undo_wrapper(cpu_id, *args,
+                             _orig=getattr(htm, name),
+                             _clear=(name == "abandon_all"), **kwargs):
+                self._acc_reads.add(TOKEN)
+                self._acc_writes.add(TOKEN)
+                self._acc_writes.update(self._cpu_reads[cpu_id])
+                self._acc_writes.update(self._cpu_writes[cpu_id])
+                result = _orig(cpu_id, *args, **kwargs)
+                if _clear or not htm.states[cpu_id].levels:
+                    self._cpu_reads[cpu_id].clear()
+                    self._cpu_writes[cpu_id].clear()
+                return result
+
+            setattr(htm, name, undo_wrapper)
+
+        for name in ("try_acquire_serial", "release_serial"):
+            self._saved[name] = getattr(htm, name)
+
+            def serial_wrapper(*args, _orig=getattr(htm, name), **kwargs):
+                self._acc_global = True
+                return _orig(*args, **kwargs)
+
+            setattr(htm, name, serial_wrapper)
+
+        self._saved["wake"] = machine.wake
+
+        def wake(cpu_id, _orig=machine.wake):
+            self._acc_global = True
+            self._acc_delivered.add(cpu_id)
+            return _orig(cpu_id)
+
+        machine.wake = wake
+
+        # A violation post is a targeted delivery, not a global action:
+        # its cause is already visible as a unit overlap with the
+        # poster's footprint, and the delivery mark both wakes any sleep
+        # entry for the victim and invalidates its pending-op estimate.
+        self._saved["sink"] = htm.detector._sink
+
+        def sink(violation, _orig=htm.detector._sink):
+            self._acc_delivered.add(violation.victim)
+            return _orig(violation)
+
+        htm.attach_violation_sink(sink)
+
+    def detach(self):
+        if not self._saved:
+            return
+        machine = self.machine
+        htm = machine.htm
+        machine.step_hook = None
+        for name in ("load", "store", "im_load", "im_store",
+                     "im_store_id", "release", "validate", "devalidate",
+                     "commit", "rollback_to", "abandon_all",
+                     "try_acquire_serial", "release_serial"):
+            setattr(htm, name, self._saved[name])
+        machine.wake = self._saved["wake"]
+        htm.attach_violation_sink(self._saved["sink"])
+        self._saved = {}
+
+
+# ----------------------------------------------------------------------
+# Running one node
+# ----------------------------------------------------------------------
+
+
+def deviations_to_str(deviations):
+    """``((3, 1), (7, 0))`` -> ``"3@1,7@0"``; empty -> ``"det"``."""
+    return ",".join(f"{step}@{cpu}" for step, cpu in deviations) or "det"
+
+
+def parse_deviations(text):
+    """Inverse of :func:`deviations_to_str` (used by ``--replay``)."""
+    text = (text or "").strip()
+    if not text or text == "det":
+        return ()
+    out = []
+    for part in text.split(","):
+        step, sep, cpu = part.partition("@")
+        if not sep:
+            raise ValueError(
+                f"bad deviation {part!r}: expected step@cpu")
+        out.append((int(step), int(cpu)))
+    return tuple(sorted(out))
+
+
+@dataclasses.dataclass
+class ScheduleVerdict:
+    """The oracles' verdict on one completely executed schedule."""
+
+    program: str
+    config: str
+    fault: str
+    seed: int
+    #: (step, cpu) pairs where the schedule departs from the
+    #: deterministic pick — the replayable counterexample encoding.
+    deviations: tuple = ()
+    violations: list = dataclasses.field(default_factory=list)
+    error: str = None
+    n_committed: int = 0
+    n_steps: int = 0
+    #: The committed history's fingerprint (History.signature()).
+    signature: tuple = ()
+    #: Forced choices that were unavailable on replay (normally empty).
+    divergences: tuple = ()
+
+    @property
+    def failed(self):
+        return bool(self.violations)
+
+    @property
+    def name(self):
+        """The replayable name: ``program:config:deviations``."""
+        base = (f"{self.program}:{self.config}:"
+                f"{deviations_to_str(self.deviations)}")
+        return f"{self.fault}:{base}" if self.fault else base
+
+    def __str__(self):
+        if not self.failed:
+            return (f"{self.name}: ok ({self.n_committed} commits, "
+                    f"{self.n_steps} steps)")
+        lines = [f"{self.name}: FAILED ({self.n_committed} commits)"]
+        lines += [f"  {violation}" for violation in self.violations]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class NodeOutcome:
+    """One explored node: its verdict (None if pruned) and children."""
+
+    prefix: tuple
+    pruned: bool = False
+    verdict: ScheduleVerdict = None
+    #: (child_prefix, encoded_sleep) pairs, in enumeration order.
+    children: tuple = ()
+
+
+def _should_prune(prune, fault, config):
+    return bool(prune) and fault is None and config.detection == LAZY
+
+
+def _execute(program_name, config_name, forced, sleep, sleep_from,
+             fault, seed, max_cycles, record):
+    """Run one controlled schedule; returns the post-run state tuple
+    ``(program, machine, policy, history, error, pruned_at, recorder)``.
+    """
+    if fault is not None and fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    sleep_entries = _decode_sleep(sleep)
+    policy = ControlledPolicy(
+        forced=forced, sleep=sleep_entries, sleep_from=sleep_from,
+        window=EXPLORE_WINDOW)
+    machine = Machine(config, policy=policy)
+    recorder = None
+    if record and _should_prune(True, fault, config):
+        recorder = StepRecorder(machine, policy,
+                                sleep_entries=sleep_entries,
+                                sleep_from=sleep_from)
+    injector = None
+    if fault is not None:
+        injector = FaultInjector(make_plan(fault, seed), machine)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    history_recorder = HistoryRecorder(machine)
+    error = None
+    pruned_at = None
+    try:
+        program.setup(machine, runtime, arena)
+        machine.run(max_cycles=max_cycles or program.max_cycles)
+    except SchedulePruned as exc:
+        pruned_at = exc.step
+    except ReproError as exc:
+        error = exc
+    finally:
+        history_recorder.detach()
+        if injector is not None:
+            injector.detach()
+        if recorder is not None:
+            recorder.detach()
+    return (program, machine, policy, history_recorder.history, error,
+            pruned_at, recorder)
+
+
+def _trace_deviations(policy):
+    return tuple(
+        (step, chosen)
+        for step, (chosen, cands) in enumerate(
+            zip(policy.choices, policy.candidates))
+        if cands and chosen != cands[0])
+
+
+def _make_verdict(program_name, config_name, fault, seed, program,
+                  machine, policy, history, error):
+    violations, error = collect_violations(
+        program, machine, history, error, fault)
+    return ScheduleVerdict(
+        program=program_name, config=config_name, fault=fault, seed=seed,
+        deviations=_trace_deviations(policy),
+        violations=violations,
+        error=str(error) if error else None,
+        n_committed=len(history),
+        n_steps=len(policy.choices),
+        signature=history.signature(),
+        divergences=tuple(policy.divergences))
+
+
+def _pending_footprints(choices, footprints, deliveries, cpu_ids):
+    """``pending[i][cpu]`` = the footprint ``cpu`` would execute if
+    scheduled at step boundary ``i``, or None if unknown.
+
+    A non-running CPU's next operation is fixed until it runs or
+    receives a delivery, so its footprint is the one it executed at the
+    first later step where it ran — invalidated by any intervening
+    delivery to it.
+    """
+    n = len(choices)
+    pending = [None] * n
+    nxt = {cpu: None for cpu in cpu_ids}
+    for i in range(n - 1, -1, -1):
+        cur = dict(nxt)
+        for cpu in deliveries[i]:
+            if cpu != choices[i] and cpu in cur:
+                cur[cpu] = None
+        cur[choices[i]] = footprints[i]
+        pending[i] = cur
+        nxt = cur
+    return pending
+
+
+def _make_children(prefix, policy, recorder, max_depth, n_cpus):
+    """The child prefixes branching off this node's trace, with their
+    sleep-set seeds, in enumeration order."""
+    choices = policy.choices
+    candidates = policy.candidates
+    n = len(choices)
+    hi = n if max_depth is None else min(n, max_depth)
+    lo = len(prefix)
+    children = []
+    if recorder is None:
+        for i in range(lo, hi):
+            for alt in candidates[i]:
+                if alt != choices[i]:
+                    children.append((tuple(choices[:i]) + (alt,), ()))
+        return children
+    # A run that died mid-step (e.g. the cycle limit) chose its last
+    # step but never closed it: branch only over fully recorded steps.
+    n = min(n, len(recorder.footprints))
+    hi = min(hi, n)
+    pending = _pending_footprints(
+        choices[:n], recorder.footprints, recorder.deliveries,
+        range(n_cpus))
+    for i in range(lo, hi):
+        sleep_i = recorder.sleep_before[i]
+        # Godefroid's rule: child sleep = {already-explored siblings and
+        # inherited entries, filtered to those provably independent of
+        # the child's own first action}.  The already-run sibling
+        # (this trace's choice) enters with its *exact* footprint;
+        # earlier alternatives with their pending estimates.  New
+        # sibling entries become active at the branch step itself, so
+        # the child run's removal logic sees the branch action's own
+        # deliveries and dependences.
+        explored = [(choices[i], (recorder.footprints[i], i))]
+        for alt in candidates[i]:
+            if alt == choices[i] or alt in sleep_i:
+                continue
+            alt_fp = pending[i].get(alt) or GLOBAL_FOOTPRINT
+            seed = {}
+            for cpu, entry in list(sleep_i.items()) + explored:
+                if cpu == alt:
+                    continue
+                fp, active_from = entry
+                if fp is None or fp.global_:
+                    continue
+                if not fp.depends(alt_fp):
+                    seed[cpu] = (fp, active_from)
+            children.append(
+                (tuple(choices[:i]) + (alt,), _encode_sleep(seed)))
+            explored.append((alt, (pending[i].get(alt), i)))
+    return children
+
+
+def run_node(program_name, config_name, prefix=(), sleep=(), fault=None,
+             seed=1, max_depth=None, prune=True, max_cycles=None):
+    """Run one exploration node: replay ``prefix``, complete the run
+    deterministically, judge it, and derive the child prefixes.
+
+    Pure in its (picklable) arguments — the unit the campaign executor
+    shards across workers.  ``sleep`` is the encoded sleep-set seed for
+    this subtree; ``max_depth`` bounds the step index at which new
+    branches may be taken.
+    """
+    prefix = tuple(prefix)
+    program, machine, policy, history, error, pruned_at, recorder = (
+        _execute(program_name, config_name, dict(enumerate(prefix)),
+                 sleep, len(prefix), fault, seed, max_cycles,
+                 record=prune))
+    verdict = None
+    if pruned_at is None:
+        verdict = _make_verdict(program_name, config_name, fault, seed,
+                                program, machine, policy, history, error)
+    children = _make_children(prefix, policy, recorder, max_depth,
+                              machine.config.n_cpus)
+    return NodeOutcome(prefix=prefix, pruned=pruned_at is not None,
+                       verdict=verdict, children=tuple(children))
+
+
+def replay(program_name, config_name, deviations, fault=None, seed=1,
+           max_cycles=None):
+    """Re-run the schedule identified by ``deviations`` and return its
+    :class:`ScheduleVerdict`.
+
+    Forcing exactly the deviating steps (every other step takes the
+    deterministic pick) reconstructs the original schedule bit-for-bit,
+    so a counterexample replays from its name alone.
+    """
+    deviations = tuple(sorted(tuple(d) for d in deviations))
+    program, machine, policy, history, error, _pruned, _rec = _execute(
+        program_name, config_name, dict(deviations), (), 0, fault, seed,
+        max_cycles, record=False)
+    return _make_verdict(program_name, config_name, fault, seed,
+                         program, machine, policy, history, error)
+
+
+# ----------------------------------------------------------------------
+# The frontier driver
+# ----------------------------------------------------------------------
+
+
+def node_spec(program_name, config_name, prefix, sleep, fault, seed,
+              max_depth, prune, max_cycles=None):
+    """The picklable :class:`CaseSpec` for one exploration node."""
+    name = (f"{program_name}:{config_name}:"
+            f"prefix={','.join(map(str, prefix)) or '-'}")
+    if fault:
+        name = f"{fault}:{name}"
+    kwargs = (("prefix", tuple(prefix)), ("sleep", tuple(sleep)),
+              ("fault", fault), ("seed", seed), ("max_depth", max_depth),
+              ("prune", prune), ("max_cycles", max_cycles))
+    return CaseSpec(runner="repro.check.explore:run_node", name=name,
+                    args=(program_name, config_name), kwargs=kwargs)
+
+
+def node_failure(spec, message):
+    """Classify a crashed/hung node as a failed schedule (its subtree
+    is lost, but the campaign and the verdict stream survive)."""
+    program_name, config_name = spec.args
+    kwargs = dict(spec.kwargs)
+    verdict = ScheduleVerdict(
+        program=program_name, config=config_name,
+        fault=kwargs.get("fault"), seed=kwargs.get("seed", 1),
+        deviations=(),
+        violations=[OracleViolation(
+            "run-failure",
+            f"node prefix={list(kwargs.get('prefix', ()))}: {message}")],
+        error=message)
+    return NodeOutcome(prefix=tuple(kwargs.get("prefix", ())),
+                       verdict=verdict)
+
+
+@dataclasses.dataclass
+class ExploreReport:
+    """The outcome of one exploration campaign."""
+
+    program: str
+    config: str
+    fault: str = None
+    seed: int = 1
+    preemption_bound: int = None
+    max_depth: int = None
+    prune: bool = True
+    jobs: int = 1
+    skipped: bool = False
+    #: Schedules run to completion and judged.
+    explored: int = 0
+    #: Runs abandoned by the sleep set (continuation covered elsewhere).
+    pruned: int = 0
+    #: Nodes per generation (generation = number of forced deviations).
+    generations: list = dataclasses.field(default_factory=list)
+    #: One verdict per explored schedule, in enumeration order.
+    verdicts: list = dataclasses.field(default_factory=list)
+    #: True if ``max_schedules`` cut the frontier before it drained.
+    truncated: bool = False
+
+    @property
+    def failures(self):
+        return [v for v in self.verdicts if v.failed]
+
+    @property
+    def exhaustive(self):
+        """Every reachable schedule (up to pruning) was visited."""
+        return not self.truncated and self.preemption_bound is None
+
+    @property
+    def distinct_histories(self):
+        return len({v.signature for v in self.verdicts})
+
+    def summary(self):
+        name = f"{self.program}:{self.config}"
+        if self.fault:
+            name = f"{self.fault}:{name}"
+        if self.skipped:
+            return f"{name}: skipped (scenario needs another config)"
+        bound = ("unbounded" if self.preemption_bound is None
+                 else f"bound {self.preemption_bound}")
+        scope = "exhaustive" if self.exhaustive else bound
+        tail = " [truncated]" if self.truncated else ""
+        return (f"{name}: {self.explored} schedules explored, "
+                f"{self.pruned} pruned ({scope}, "
+                f"{self.distinct_histories} distinct histories, "
+                f"{len(self.failures)} failing){tail}")
+
+
+def explore(program_name, config_name, fault=None, seed=1,
+            preemption_bound=2, max_depth=None, prune=True, jobs=1,
+            max_schedules=None, max_cycles=None, timeout=None,
+            report=None, pool=None):
+    """Explore the schedule space of one (program, config[, fault]).
+
+    Breadth-first over generations: generation ``b`` holds the
+    schedules with ``b`` forced deviations, so ``preemption_bound``
+    (None = unbounded, i.e. run until the frontier drains) is iterative
+    preemption bounding.  ``report``, if given, sees every
+    :class:`ScheduleVerdict` in enumeration order; ``jobs > 1`` shards
+    each generation across a :class:`WorkerPool` (pass ``pool`` to
+    reuse one across calls) without changing any result.
+    ``max_schedules`` caps the total number of runs as a safety net and
+    marks the report ``truncated``.
+    """
+    if config_name not in CONFIGS:
+        raise ValueError(f"unknown config {config_name!r}; "
+                         f"choose from {sorted(CONFIGS)}")
+    if fault is not None and fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    effective_prune = _should_prune(prune, fault, config)
+    out = ExploreReport(
+        program=program_name, config=config_name, fault=fault, seed=seed,
+        preemption_bound=preemption_bound, max_depth=max_depth,
+        prune=effective_prune, jobs=jobs)
+    if not program.supports(config):
+        out.skipped = True
+        return out
+
+    own_pool = None
+    if jobs > 1 and pool is None:
+        own_pool = pool = WorkerPool(jobs)
+    frontier = [((), ())]
+    generation = 0
+    try:
+        while frontier:
+            if (preemption_bound is not None
+                    and generation > preemption_bound):
+                break
+            if max_schedules is not None:
+                room = max_schedules - (out.explored + out.pruned)
+                if room <= 0:
+                    out.truncated = True
+                    break
+                if len(frontier) > room:
+                    frontier = frontier[:room]
+                    out.truncated = True
+            # The last bounded generation's children can never run:
+            # suppress them at the source (a livelocked run has tens of
+            # thousands of steps, and materializing one child prefix per
+            # step is quadratic in memory for no benefit).
+            last = (preemption_bound is not None
+                    and generation == preemption_bound)
+            depth = 0 if last else max_depth
+            specs = [
+                node_spec(program_name, config_name, prefix, sleep,
+                          fault, seed, depth, effective_prune,
+                          max_cycles=max_cycles)
+                for prefix, sleep in frontier
+            ]
+            if pool is not None:
+                outcomes = pool.map(specs, timeout=timeout,
+                                    failure_result=node_failure)
+            else:
+                outcomes = run_campaign(specs, jobs=1, timeout=timeout,
+                                        failure_result=node_failure)
+            next_frontier = []
+            for outcome in outcomes:
+                if outcome.pruned:
+                    out.pruned += 1
+                else:
+                    out.explored += 1
+                    out.verdicts.append(outcome.verdict)
+                    if report is not None:
+                        report(outcome.verdict)
+                next_frontier.extend(outcome.children)
+            out.generations.append(len(outcomes))
+            frontier = next_frontier
+            generation += 1
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+    return out

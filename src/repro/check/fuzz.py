@@ -134,6 +134,32 @@ def build_config(config_name, program):
     return functional_config(n_cpus=n_cpus, **overrides)
 
 
+def collect_violations(program, machine, history, error, fault):
+    """Final-state verification plus the oracle battery for one finished
+    run; shared by :func:`run_case` and the explorer
+    (:mod:`repro.check.explore`), so both drivers judge a schedule by
+    exactly the same rules.  Returns ``(violations, error)`` — ``error``
+    may have been raised by ``program.verify``.
+    """
+    if error is None:
+        try:
+            program.verify(machine)
+        except ReproError as exc:
+            error = exc
+    violations = list(check_serializability(history))
+    violations += check_lost_wakeups(machine, error, program.waiter_cpus)
+    if error is None:
+        violations += program.check_final(machine, history)
+        if fault is not None:
+            violations += check_fault_quiescence(machine, error)
+    elif not violations:
+        # The run failed in a way no specific oracle classified; surface
+        # it rather than letting a crash read as a pass.
+        violations.append(OracleViolation(
+            "run-failure", f"{type(error).__name__}: {error}"))
+    return violations, error
+
+
 def run_case(program_name, config_name, policy_name, seed,
              fault=None, change_points=None, max_cycles=None):
     """Run one case and return its :class:`CaseResult`.
@@ -174,23 +200,9 @@ def run_case(program_name, config_name, policy_name, seed,
         recorder.detach()
         if injector is not None:
             injector.detach()
-    if error is None:
-        try:
-            program.verify(machine)
-        except ReproError as exc:
-            error = exc
     history = recorder.history
-    violations = list(check_serializability(history))
-    violations += check_lost_wakeups(machine, error, program.waiter_cpus)
-    if error is None:
-        violations += program.check_final(machine, history)
-        if fault is not None:
-            violations += check_fault_quiescence(machine, error)
-    elif not violations:
-        # The run failed in a way no specific oracle classified; surface
-        # it rather than letting a crash read as a pass.
-        violations.append(OracleViolation(
-            "run-failure", f"{type(error).__name__}: {error}"))
+    violations, error = collect_violations(
+        program, machine, history, error, fault)
     return CaseResult(
         program_name, config_name, policy_name, seed,
         violations=violations,
@@ -316,28 +328,22 @@ def injection_totals(results):
     return totals
 
 
-def shrink_change_points(failure, fault=None):
-    """Greedy minimisation of a failing ``pct`` case's change-points.
+def greedy_minimize(points, rerun, fallback):
+    """Greedy drop-one minimisation of a failing schedule's decisions.
 
-    Re-runs the case with explicit change-point subsets, dropping any
-    point whose removal keeps the failure, until no single removal does.
-    Returns ``(points, final_result)`` — the minimal point list (possibly
-    empty: the failure never needed preemption) and the re-run showing
-    the failure under exactly those points.
+    The one shrinking loop both failure flavours go through: re-run with
+    subsets of ``points``, drop any point whose removal keeps the
+    failure, until no single removal does.  ``rerun(points)`` must
+    return a result with a ``failed`` property.  Returns ``(points,
+    final_result)``; if even the full point set no longer reproduces the
+    failure, returns ``(points, fallback)`` untouched.
     """
-    if failure.policy != "pct":
-        raise ValueError("shrinking applies to pct failures only")
-
-    def rerun(points):
-        return run_case(failure.program, failure.config, "pct",
-                        failure.seed, fault=fault, change_points=points)
-
-    points = sorted({step for step, _cpu in (failure.fired_points or [])})
+    points = list(points)
     result = rerun(points)
     if not result.failed:
-        # The failure depends on change-points that never fired (it is
-        # schedule-noise-free); nothing to shrink.
-        return points, failure
+        # The failure depends on decisions these points don't capture
+        # (e.g. pct change-points that never fired); nothing to shrink.
+        return points, fallback
     shrinking = True
     while shrinking:
         shrinking = False
@@ -349,6 +355,40 @@ def shrink_change_points(failure, fault=None):
                 shrinking = True
                 break
     return points, result
+
+
+def shrink_change_points(failure, fault=None):
+    """Greedy minimisation of a failing case's scheduling decisions.
+
+    Accepts either a failing ``pct`` :class:`CaseResult` — minimised
+    over the priority change-points that fired — or a failing explorer
+    :class:`~repro.check.explore.ScheduleVerdict` — minimised over its
+    forced deviations — and routes both through
+    :func:`greedy_minimize`, so fuzz and explore counterexamples shrink
+    on one code path.  Returns ``(points, final_result)``: the minimal
+    decision list and the re-run showing the failure under exactly
+    those decisions.
+    """
+    if hasattr(failure, "deviations"):
+        # Explorer counterexample: points are (step, cpu) deviations.
+        from repro.check.explore import replay
+
+        def rerun(points):
+            return replay(failure.program, failure.config, points,
+                          fault=failure.fault if fault is None else fault,
+                          seed=failure.seed)
+
+        return greedy_minimize(list(failure.deviations), rerun, failure)
+
+    if failure.policy != "pct":
+        raise ValueError("shrinking applies to pct failures only")
+
+    def rerun(points):
+        return run_case(failure.program, failure.config, "pct",
+                        failure.seed, fault=fault, change_points=points)
+
+    points = sorted({step for step, _cpu in (failure.fired_points or [])})
+    return greedy_minimize(points, rerun, failure)
 
 
 def summarize(results):

@@ -639,6 +639,142 @@ class IoChaosProgram(CheckProgram):
 
 
 #: Fuzzable programs by name.
+# ----------------------------------------------------------------------
+# Litmus family: classic 2-CPU shapes, sized for exhaustive exploration.
+
+
+class LitmusProgram(CheckProgram):
+    """Base for the litmus family (docs/checking.md, "Exhaustive
+    exploration").
+
+    Litmus programs are the explorer's natural prey: two CPUs, one
+    transaction each, *no internal randomness* — the entire behaviour is
+    a pure function of the schedule, and the runs are short enough that
+    the model checker (:mod:`repro.check.explore`) can enumerate every
+    interleaving outright.  The fuzzer runs them too (they are ordinary
+    :data:`PROGRAMS` members), which is what lets the differential test
+    compare the two drivers on identical ground.
+    """
+
+    max_cycles = 100_000
+
+    def __init__(self, n_threads=2, seed=1, scale=1.0):
+        super().__init__(2, seed=seed, scale=scale)
+
+
+class LitmusStoreBufferProgram(LitmusProgram):
+    """Store buffering / commit order: ``t0 {x=1; r0=y}``,
+    ``t1 {y=1; r1=x}``, one transaction each.
+
+    Serializability orders the two commits, so the later committer's
+    read must observe the earlier committer's store: ``r0 == r1 == 0``
+    (both transactions read the initial values) is the classic forbidden
+    outcome a store-buffered machine without TM ordering would allow.
+    """
+
+    name = "litmus-sb"
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.x = arena.alloc_word(0, isolate=True)
+        self.y = arena.alloc_word(0, isolate=True)
+        self.reads = [None, None]
+        runtime.spawn(self._worker, 0, self.x, self.y, cpu_id=0)
+        runtime.spawn(self._worker, 1, self.y, self.x, cpu_id=1)
+
+    def _worker(self, t, me, mine, other):
+        def body(t):
+            yield t.store(mine, 1)
+            self.reads[me] = yield t.load(other)
+
+        yield from self._rt.atomic(t, body)
+
+    def check_final(self, machine, history):
+        return check_invariant(
+            "litmus-sb", self.reads != [0, 0],
+            f"both transactions read 0 (reads={self.reads}): no commit "
+            "order can explain it")
+
+
+class LitmusPublicationProgram(LitmusProgram):
+    """Message passing / publication: ``t0 {data=42; flag=1}``,
+    ``t1 {r_flag=flag; r_data=data}``, one transaction each.
+
+    If the reader sees the flag set it must also see the data — the
+    publication idiom every §5 data structure relies on.  A machine
+    that let the flag store commit without the data store (torn commit,
+    write reordering) breaks it.
+    """
+
+    name = "litmus-mp"
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.data = arena.alloc_word(0, isolate=True)
+        self.flag = arena.alloc_word(0, isolate=True)
+        self.reads = [None, None]
+
+        def writer(t):
+            def body(t):
+                yield t.store(self.data, 42)
+                yield t.store(self.flag, 1)
+
+            yield from runtime.atomic(t, body)
+
+        def reader(t):
+            def body(t):
+                self.reads[0] = yield t.load(self.flag)
+                self.reads[1] = yield t.load(self.data)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(writer, cpu_id=0)
+        runtime.spawn(reader, cpu_id=1)
+
+    def check_final(self, machine, history):
+        flag, data = self.reads
+        return check_invariant(
+            "litmus-mp", not (flag == 1 and data != 42),
+            f"reader saw flag=1 but data={data}: publication tore")
+
+
+class LitmusIncrementProgram(LitmusProgram):
+    """The minimal contended increment: two CPUs, one ``+1`` each.
+
+    The smallest program whose conflict the two detection modes resolve
+    differently — a lazy machine lets both run and violates the loser at
+    commit, an eager ``requester_stalls`` machine stalls the second
+    writer inside its transaction — so exploring it under ``eager-wb``
+    vs ``lazy-wb-assoc`` exercises both arbitration paths on an
+    identical program.  Either way the counter must end at 2.
+    """
+
+    name = "litmus-inc"
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.addr = arena.alloc_word(0, isolate=True)
+        for worker in range(2):
+            runtime.spawn(self._worker, cpu_id=worker)
+
+    def _worker(self, t):
+        def body(t):
+            value = yield t.load(self.addr)
+            yield t.store(self.addr, value + 1)
+
+        yield from self._rt.atomic(t, body)
+
+    def check_final(self, machine, history):
+        final = machine.memory.read(self.addr)
+        return check_invariant(
+            "litmus-inc", final == 2,
+            f"final counter {final}, expected 2 (lost increment)")
+
+
+#: The litmus family, in canonical order (the explore CLI's default).
+LITMUS_PROGRAMS = ("litmus-sb", "litmus-mp", "litmus-inc")
+
+
 PROGRAMS = {
     cls.name: cls
     for cls in (
@@ -651,6 +787,9 @@ PROGRAMS = {
         RequeueWakeupProgram,
         CondSyncProgram,
         IoChaosProgram,
+        LitmusStoreBufferProgram,
+        LitmusPublicationProgram,
+        LitmusIncrementProgram,
     )
 }
 

@@ -300,6 +300,87 @@ def cmd_chaos(args):
     return 1 if failures or unreachable else 0
 
 
+def cmd_explore(args):
+    from repro.check.explore import (
+        deviations_to_str,
+        explore,
+        parse_deviations,
+        replay,
+    )
+    from repro.check.fuzz import CONFIGS, shrink_change_points
+    from repro.check.programs import LITMUS_PROGRAMS, PROGRAMS
+
+    fault = args.inject_fault or None
+
+    if args.replay:
+        parts = args.replay.split(":")
+        if len(parts) == 4:
+            fault, program, config, devstr = parts
+        elif len(parts) == 3:
+            program, config, devstr = parts
+        else:
+            print("--replay wants [fault:]program:config:deviations "
+                  "(deviations like 3@1,7@0, or det)", file=sys.stderr)
+            return 2
+        verdict = replay(program, config, parse_deviations(devstr),
+                         fault=fault, seed=args.seed)
+        print(verdict)
+        return 1 if verdict.failed else 0
+
+    def pick(raw, universe, what):
+        names = raw.split(",")
+        unknown = [n for n in names if n not in universe]
+        if unknown:
+            raise SystemExit(
+                f"unknown {what} {unknown}; choose from {sorted(universe)}")
+        return names
+
+    programs = (pick(args.programs, PROGRAMS, "program")
+                if args.programs else list(LITMUS_PROGRAMS))
+    configs = (pick(args.configs, CONFIGS, "config")
+               if args.configs else ["lazy-wb-assoc"])
+    bound = None if args.preemption_bound < 0 else args.preemption_bound
+
+    pool = None
+    if args.jobs > 1:
+        from repro.harness.parallel import WorkerPool
+        pool = WorkerPool(args.jobs)
+    failures = []
+    truncated = False
+    try:
+        for program in programs:
+            for config in configs:
+                result = explore(
+                    program, config, fault=fault, seed=args.seed,
+                    preemption_bound=bound,
+                    max_depth=args.max_depth or None,
+                    prune=not args.no_prune, jobs=args.jobs,
+                    max_schedules=args.max_schedules or None,
+                    timeout=args.timeout or None,
+                    report=(print if args.verbose else None),
+                    pool=pool)
+                print("explore:", result.summary())
+                failures.extend(result.failures)
+                truncated |= result.truncated
+    finally:
+        if pool is not None:
+            pool.close()
+    if truncated:
+        print("explore: schedule cap hit; raise --max-schedules or set "
+              "--max-depth for a drainable space", file=sys.stderr)
+    for failure in failures:
+        print()
+        print(failure)
+        deviations, _ = shrink_change_points(failure, fault=fault)
+        devstr = deviations_to_str(deviations)
+        name = f"{failure.program}:{failure.config}:{devstr}"
+        if failure.fault:
+            name = f"{failure.fault}:{name}"
+        print(f"  shrunk to deviations {list(deviations)}; replay with:")
+        print(f"    python -m repro explore --replay {name}")
+    return 1 if failures else 0
+
+
 def cmd_all(args):
     status = 0
     for step in (cmd_isa, cmd_overheads, cmd_figure5, cmd_io, cmd_condsync):
@@ -433,6 +514,46 @@ def build_parser():
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it finishes")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "explore",
+        help="exhaustive schedule-space model checker (sleep-set "
+             "pruning + iterative preemption bounding)")
+    p.add_argument("--programs", default="",
+                   help="comma-separated check programs "
+                        "(default: the litmus family)")
+    p.add_argument("--configs", default="",
+                   help="comma-separated configs (default: lazy-wb-assoc)")
+    p.add_argument("--preemption-bound", type=int, default=2,
+                   help="max forced deviations per schedule; "
+                        "negative = unbounded (run until the frontier "
+                        "drains; combine with --max-depth)")
+    p.add_argument("--max-depth", type=int, default=0,
+                   help="branch only at steps below this index "
+                        "(0 = no depth bound)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable sleep-set pruning (plain bounded "
+                        "enumeration)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="program seed (schedules themselves are "
+                        "enumerated, not sampled)")
+    p.add_argument("--inject-fault", default="", choices=("",) + FAULTS,
+                   help="explore under a deterministic fault plan "
+                        "(pruning is disabled: fault state is not "
+                        "modeled by the footprints)")
+    p.add_argument("--max-schedules", type=int, default=20000,
+                   help="safety cap on total runs (0 = uncapped)")
+    p.add_argument("--replay", default="",
+                   help="replay one schedule: [fault:]program:config:"
+                        "deviations (e.g. litmus-sb:lazy-wb-assoc:3@1)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per generation wave "
+                        "(any value yields identical results)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-node timeout in seconds (parallel runs)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every schedule verdict")
+    p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser("all", help="the whole evaluation")
     common(p)

@@ -162,15 +162,17 @@ def _run_guarded(spec, timeout, failure_result):
 
 
 def _worker_main(task_queue, result_queue):
-    """Worker loop: pull ``(index, spec, timeout)`` tasks, push
-    ``(index, pickled outcome)`` results.  Outcomes are pickled in the
-    worker so an unpicklable result surfaces as a classified failure
-    rather than wedging the queue's feeder thread."""
+    """Worker loop: pull ``(epoch, index, spec, timeout)`` tasks, push
+    ``(epoch, index, pickled outcome)`` results.  Outcomes are pickled
+    in the worker so an unpicklable result surfaces as a classified
+    failure rather than wedging the queue's feeder thread.  The epoch
+    tag travels untouched: it lets a persistent pool tell a live wave's
+    results from a written-off worker's stale ones."""
     while True:
         task = task_queue.get()
         if task is None:
             return
-        index, spec, timeout = task
+        epoch, index, spec, timeout = task
         try:
             with _time_limit(timeout):
                 outcome = ("ok", run_spec(spec))
@@ -183,7 +185,7 @@ def _worker_main(task_queue, result_queue):
         except Exception as exc:
             blob = pickle.dumps(
                 ("fail", f"result not picklable ({_describe(exc)})"))
-        result_queue.put((index, blob))
+        result_queue.put((epoch, index, blob))
 
 
 class _Worker:
@@ -199,10 +201,10 @@ class _Worker:
         self.index = None      # case index in flight, if any
         self.started = None    # monotonic time the case was assigned
 
-    def assign(self, index, spec, timeout):
+    def assign(self, epoch, index, spec, timeout):
         self.index = index
         self.started = time.monotonic()
-        self.task_queue.put((index, spec, timeout))
+        self.task_queue.put((epoch, index, spec, timeout))
 
     def alive(self):
         return self.process.is_alive()
@@ -258,47 +260,102 @@ def run_campaign(specs, jobs=1, timeout=None, report=None,
                 if report is not None:
                     report(result)
             return results
-        return _run_pool(specs, min(jobs, len(specs)), timeout, report,
-                         failure_result, grace, ctx)
+        with WorkerPool(min(jobs, len(specs)), ctx=ctx) as pool:
+            return pool.map(specs, timeout=timeout, report=report,
+                            failure_result=failure_result, grace=grace)
     finally:
         _PAYLOAD = saved_payload
 
 
-def _run_pool(specs, jobs, timeout, report, failure_result, grace, ctx):
-    result_queue = ctx.Queue()
-    workers = [_Worker(ctx, result_queue) for _ in range(jobs)]
-    results = [_UNSET] * len(specs)
-    n_done = 0
-    emitted = 0
-    next_index = 0
-    idle = list(workers)
+class WorkerPool:
+    """A persistent pool of case workers, reusable across waves.
 
-    def finish(index, result):
-        nonlocal n_done, emitted
-        if results[index] is not _UNSET:
-            return  # stale message from a worker already written off
-        results[index] = result
-        n_done += 1
-        if report is not None:
-            while emitted < len(results) and results[emitted] is not _UNSET:
-                report(results[emitted])
-                emitted += 1
+    :func:`run_campaign` spins one up per call; wave-structured drivers
+    — the model checker's generation BFS (:mod:`repro.check.explore`)
+    runs one campaign per frontier generation — keep a single pool
+    alive across many :meth:`map` calls instead of respawning ``jobs``
+    interpreters per wave.
 
-    def respawn(worker):
-        workers[workers.index(worker)] = fresh = _Worker(ctx, result_queue)
-        idle.append(fresh)
+    Each :meth:`map` call is one *epoch*.  Tasks and results carry the
+    epoch tag, so a result arriving from a worker that was written off
+    in an earlier wave (killed after a timeout, crashed mid-case, or
+    simply slow to flush its queue before being replaced) can never be
+    mistaken for a result of the current wave; within a wave the
+    result-slot guard catches same-epoch stragglers as before.
+    """
 
-    try:
+    def __init__(self, jobs, ctx=None):
+        self._ctx = ctx if ctx is not None else _context()
+        self.jobs = max(1, int(jobs))
+        self._result_queue = self._ctx.Queue()
+        self._workers = [
+            _Worker(self._ctx, self._result_queue)
+            for _ in range(self.jobs)
+        ]
+        self._epoch = 0
+        self._closed = False
+
+    def map(self, specs, timeout=None, report=None, failure_result=None,
+            grace=5.0):
+        """Run one wave of specs; returns results in enumeration order.
+
+        Same contract as :func:`run_campaign` for ``timeout``,
+        ``report``, ``failure_result`` and ``grace``.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        specs = list(specs)
+        if failure_result is None:
+            failure_result = lambda spec, message: CampaignFailure(  # noqa: E731
+                spec.name, message)
+        if not specs:
+            return []
+        self._epoch += 1
+        epoch = self._epoch
+        workers = self._workers
+        # A worker still marked busy here belongs to a wave that was
+        # abandoned mid-flight (exception between map calls): its index
+        # and start time describe the old epoch, so retire it rather
+        # than let this wave's watchdog misread them.
+        for pos, worker in enumerate(workers):
+            if worker.index is not None:
+                worker.kill()
+                workers[pos] = _Worker(self._ctx, self._result_queue)
+        results = [_UNSET] * len(specs)
+        n_done = 0
+        emitted = 0
+        next_index = 0
+        idle = list(workers)
+
+        def finish(index, result):
+            nonlocal n_done, emitted
+            if results[index] is not _UNSET:
+                return  # stale message from a worker already written off
+            results[index] = result
+            n_done += 1
+            if report is not None:
+                while (emitted < len(results)
+                        and results[emitted] is not _UNSET):
+                    report(results[emitted])
+                    emitted += 1
+
+        def respawn(worker):
+            fresh = _Worker(self._ctx, self._result_queue)
+            workers[workers.index(worker)] = fresh
+            idle.append(fresh)
+
         while n_done < len(specs):
             while idle and next_index < len(specs):
                 worker = idle.pop()
                 if not worker.alive():   # died idle; replace and retry
                     respawn(worker)
                     continue
-                worker.assign(next_index, specs[next_index], timeout)
+                worker.assign(epoch, next_index, specs[next_index],
+                              timeout)
                 next_index += 1
             try:
-                index, blob = result_queue.get(timeout=_POLL_S)
+                r_epoch, index, blob = self._result_queue.get(
+                    timeout=_POLL_S)
             except queue.Empty:
                 now = time.monotonic()
                 for worker in list(workers):
@@ -317,6 +374,8 @@ def _run_pool(specs, jobs, timeout, report, failure_result, grace, ctx):
                             f"timeout after {timeout:g}s (worker killed)"))
                         respawn(worker)
                 continue
+            if r_epoch != epoch:
+                continue  # a written-off worker's leftover from a past wave
             for worker in workers:
                 if worker.index == index:
                     worker.index = None
@@ -328,12 +387,24 @@ def _run_pool(specs, jobs, timeout, report, failure_result, grace, ctx):
             else:
                 finish(index, failure_result(specs[index], value))
         return results
-    finally:
-        for worker in workers:
+
+    def close(self):
+        """Stop every worker and release the queues."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
             worker.stop()
         deadline = time.monotonic() + 2.0
-        for worker in workers:
+        for worker in self._workers:
             worker.process.join(max(0.0, deadline - time.monotonic()))
             if worker.process.is_alive():
                 worker.kill()
-        result_queue.close()
+        self._result_queue.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

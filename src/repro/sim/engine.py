@@ -76,6 +76,15 @@ class Machine:
         #: the probe is a single getattr on the cold path and the hot
         #: paths are untouched.
         self.fault_hooks = None
+        #: Choice-point observation seam: when not None, called as
+        #: ``step_hook(cpu)`` after every completed scheduling step, in
+        #: 1:1 correspondence with the policy's ``choose`` calls (heap
+        #:-served deterministic runs make no ``choose`` calls and the
+        #: hook then simply fires per step).  The model checker's
+        #: recorder (repro.check.explore) uses it to close each step's
+        #: read/write footprint; a None hook costs one attribute probe
+        #: per step and leaves simulated cycle counts untouched.
+        self.step_hook = None
         self._capacity_retries = [0] * config.n_cpus
         #: Heap-backed ready queue: (resume_at, cpu_id) entries, kept for
         #: the deterministic policy so picking the next CPU is O(log n)
@@ -215,6 +224,9 @@ class Machine:
             if max_steps is not None and steps > max_steps:
                 raise SimulationError(f"simulation exceeded {max_steps} steps")
             self._step(cpu)
+            hook = self.step_hook
+            if hook is not None:
+                hook(cpu)
             if use_heap and cpu.state == RUNNABLE and cpu.frames:
                 heapq.heappush(self._ready, (cpu.resume_at, cpu.cpu_id))
         self.stats.set("cycles", self.now)

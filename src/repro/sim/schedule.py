@@ -111,6 +111,99 @@ class RandomPolicy(SchedulePolicy):
         return f"random(seed={self.seed})"
 
 
+class SchedulePruned(Exception):
+    """Raised by :class:`ControlledPolicy` when every in-window candidate
+    is in the sleep set: the continuation from this state is provably
+    covered by a sibling branch, so the run is abandoned.
+
+    Deliberately *not* a :class:`~repro.common.errors.ReproError`: it is
+    exploration control flow, not a simulated failure, and must never be
+    classified as an oracle violation.
+    """
+
+    def __init__(self, step, candidates):
+        super().__init__(
+            f"all candidates {list(candidates)} asleep at step {step}")
+        self.step = step
+        self.candidates = tuple(candidates)
+
+
+class ControlledPolicy(SchedulePolicy):
+    """Replay a prefix of scheduling choices, then run the deterministic
+    continuation — recording every choice point on the way.
+
+    This is the model checker's instrument (:mod:`repro.check.explore`):
+    a schedule is identified by the *forced* choices (step index -> CPU
+    id); every unforced step takes the first in-window candidate, i.e.
+    the deterministic pick, so a run is a pure function of its prefix.
+    After the run, :attr:`choices` holds the full choice sequence and
+    :attr:`candidates` the in-window alternatives at each step — the
+    branching structure the explorer enumerates.
+
+    ``sleep`` seeds a sleep set (CPU ids whose scheduling is provably
+    covered by an already-explored sibling).  From step ``sleep_from``
+    on, the default pick skips sleeping CPUs; the explorer's recorder
+    wakes entries (``policy.sleep.discard``) when an executed step is
+    dependent on them.  When *every* candidate is asleep the run raises
+    :class:`SchedulePruned`.  Forced choices override the sleep set —
+    a replayed prefix is always followed verbatim.
+
+    If a forced CPU is not among the candidates (possible only when the
+    program or fault plan differs from the run that recorded the
+    prefix), the divergence is recorded in :attr:`divergences` and the
+    default pick is used for that step.
+    """
+
+    name = "controlled"
+
+    def __init__(self, forced=None, sleep=(), sleep_from=0,
+                 window=DEFAULT_WINDOW):
+        self.forced = dict(forced) if forced else {}
+        self.sleep = set(sleep)
+        self.sleep_from = sleep_from
+        self.window = window
+        #: CPU id chosen at each step, in order.
+        self.choices = []
+        #: Tuple of in-window candidate CPU ids at each step.
+        self.candidates = []
+        #: (step, wanted_cpu_id) pairs where a forced choice was
+        #: unavailable; empty on a faithful replay.
+        self.divergences = []
+
+    def choose(self, runnable):
+        step = len(self.choices)
+        candidates = window_candidates(runnable, self.window)
+        ids = tuple(cpu.cpu_id for cpu in candidates)
+        self.candidates.append(ids)
+        chosen = None
+        want = self.forced.get(step)
+        if want is not None:
+            for cpu in candidates:
+                if cpu.cpu_id == want:
+                    chosen = cpu
+                    break
+            if chosen is None:
+                self.divergences.append((step, want))
+        if chosen is None:
+            if step >= self.sleep_from and self.sleep:
+                for cpu in candidates:
+                    if cpu.cpu_id not in self.sleep:
+                        chosen = cpu
+                        break
+                if chosen is None:
+                    # choices stays one short of candidates: the pruned
+                    # step was observed but never executed.
+                    raise SchedulePruned(step, ids)
+            else:
+                chosen = candidates[0]
+        self.choices.append(chosen.cpu_id)
+        return chosen
+
+    def describe(self):
+        forced = sorted(self.forced.items())
+        return f"controlled(forced={forced})"
+
+
 class PriorityPolicy(SchedulePolicy):
     """PCT-style priority scheduling with ``depth`` change-points.
 
@@ -187,6 +280,7 @@ POLICIES = {
     DeterministicPolicy.name: lambda seed=0, **kw: DeterministicPolicy(),
     RandomPolicy.name: RandomPolicy,
     PriorityPolicy.name: PriorityPolicy,
+    ControlledPolicy.name: lambda seed=0, **kw: ControlledPolicy(**kw),
 }
 
 

@@ -1,0 +1,287 @@
+"""The exhaustive schedule-space explorer (repro.check.explore).
+
+Covers the tentpole acceptance criteria:
+
+* bounded-exhaustive enumeration of a 2-CPU litmus program drains its
+  frontier and reports explored-vs-pruned counts;
+* sleep-set pruning agrees with plain enumeration where the latter is
+  tractable;
+* a known DESIGN.md §6b schedule-dependent bug is rediscovered without
+  randomness (no seeds, bound 0);
+* parallel exploration is bit-for-bit identical to serial;
+* counterexamples replay from their deviation encoding alone and
+  shrink through the fuzzer's shared greedy loop.
+"""
+
+import pytest
+
+from repro.check.explore import (
+    ScheduleVerdict,
+    deviations_to_str,
+    explore,
+    parse_deviations,
+    replay,
+    run_node,
+)
+from repro.check.fuzz import run_case, shrink_change_points
+from repro.check.programs import LITMUS_PROGRAMS, PROGRAMS
+from repro.sim.schedule import ControlledPolicy, SchedulePruned
+
+CONFIG = "lazy-wb-assoc"
+
+
+class FakeCpu:
+    def __init__(self, cpu_id, resume_at=0):
+        self.cpu_id = cpu_id
+        self.resume_at = resume_at
+
+
+# ----------------------------------------------------------------------
+# ControlledPolicy
+# ----------------------------------------------------------------------
+
+
+def test_controlled_policy_default_is_first_candidate():
+    policy = ControlledPolicy()
+    cpus = [FakeCpu(0, 5), FakeCpu(1, 3), FakeCpu(2, 9)]
+    chosen = policy.choose(cpus)
+    # Deterministic pick: smallest (resume_at, cpu_id).
+    assert chosen.cpu_id == 1
+    assert policy.choices == [1]
+    assert policy.candidates == [(1, 0, 2)]
+
+
+def test_controlled_policy_forced_choice_wins():
+    policy = ControlledPolicy(forced={0: 2, 1: 0})
+    cpus = [FakeCpu(0), FakeCpu(1), FakeCpu(2)]
+    assert policy.choose(cpus).cpu_id == 2
+    assert policy.choose(cpus).cpu_id == 0
+    # Unforced step falls back to the default pick.
+    assert policy.choose(cpus).cpu_id == 0
+    assert policy.choices == [2, 0, 0]
+    assert policy.divergences == []
+
+
+def test_controlled_policy_records_divergence():
+    policy = ControlledPolicy(forced={0: 7})
+    cpus = [FakeCpu(0), FakeCpu(1)]
+    assert policy.choose(cpus).cpu_id == 0
+    assert policy.divergences == [(0, 7)]
+
+
+def test_controlled_policy_sleep_skips_and_prunes():
+    policy = ControlledPolicy(sleep={0}, sleep_from=0)
+    cpus = [FakeCpu(0), FakeCpu(1)]
+    assert policy.choose(cpus).cpu_id == 1
+    policy.sleep.add(1)
+    with pytest.raises(SchedulePruned) as exc:
+        policy.choose(cpus)
+    # The pruned step was observed but never executed.
+    assert exc.value.step == 1
+    assert exc.value.candidates == (0, 1)
+    assert len(policy.choices) == 1
+    assert len(policy.candidates) == 2
+
+
+def test_controlled_policy_forced_overrides_sleep():
+    policy = ControlledPolicy(forced={0: 0}, sleep={0}, sleep_from=0)
+    cpus = [FakeCpu(0), FakeCpu(1)]
+    assert policy.choose(cpus).cpu_id == 0
+
+
+# ----------------------------------------------------------------------
+# Deviation encoding
+# ----------------------------------------------------------------------
+
+
+def test_deviation_string_round_trip():
+    assert deviations_to_str(()) == "det"
+    assert parse_deviations("det") == ()
+    assert parse_deviations("") == ()
+    devs = ((3, 1), (7, 0))
+    assert parse_deviations(deviations_to_str(devs)) == devs
+    with pytest.raises(ValueError):
+        parse_deviations("3-1")
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+
+
+def test_litmus_programs_registered():
+    for name in LITMUS_PROGRAMS:
+        assert name in PROGRAMS
+
+
+def test_bound_zero_is_exactly_the_det_schedule():
+    report = explore("litmus-sb", CONFIG, preemption_bound=0)
+    assert report.explored == 1
+    assert report.pruned == 0
+    assert not report.failures
+    verdict = report.verdicts[0]
+    assert verdict.deviations == ()
+    assert verdict.name == f"litmus-sb:{CONFIG}:det"
+    # The same schedule the fuzzer's det policy runs.
+    fuzz = run_case("litmus-sb", CONFIG, "det", 1)
+    assert not fuzz.failed
+
+
+def test_exhaustive_litmus_enumeration_drains():
+    """The headline acceptance test: bounded-exhaustive exploration of a
+    2-CPU litmus program visits every schedule class reachable within
+    the depth bound, reporting explored vs. pruned counts."""
+    report = explore("litmus-sb", CONFIG, preemption_bound=None,
+                     max_depth=24, max_schedules=5000)
+    assert not report.truncated
+    assert report.exhaustive
+    assert report.explored > 10
+    assert report.pruned > report.explored  # pruning carries its weight
+    assert not report.failures
+    # Deterministic: a second run enumerates the identical sequence.
+    again = explore("litmus-sb", CONFIG, preemption_bound=None,
+                    max_depth=24, max_schedules=5000)
+    assert [v.name for v in again.verdicts] == [
+        v.name for v in report.verdicts]
+
+
+def test_pruned_and_unpruned_agree_where_tractable():
+    """At a small depth the full enumeration is tractable: pruning must
+    not change the set of verdict outcomes, only skip equivalent
+    interleavings (2^depth schedules collapse to a handful)."""
+    depth = 10
+    full = explore("litmus-sb", CONFIG, preemption_bound=None,
+                   max_depth=depth, prune=False, max_schedules=2000)
+    slim = explore("litmus-sb", CONFIG, preemption_bound=None,
+                   max_depth=depth, prune=True, max_schedules=2000)
+    assert not full.truncated and not slim.truncated
+    assert full.explored == 2 ** depth  # two candidates at every step
+    assert slim.explored + slim.pruned < full.explored
+    assert not full.failures and not slim.failures
+
+
+def test_every_litmus_program_explores_clean():
+    for name in LITMUS_PROGRAMS:
+        report = explore(name, CONFIG, preemption_bound=1)
+        assert not report.truncated
+        assert report.explored > 0
+        assert not report.failures, report.summary()
+
+
+def test_eager_config_explores_unpruned():
+    report = explore("litmus-inc", "eager-undo", preemption_bound=1,
+                     max_schedules=500)
+    assert report.prune is False  # pruning unsound under eager: gated off
+    assert report.pruned == 0
+    assert not report.failures
+
+
+# ----------------------------------------------------------------------
+# Bug rediscovery and replay
+# ----------------------------------------------------------------------
+
+
+def test_rediscovers_lost_wakeup_without_randomness():
+    """DESIGN.md §6b lost-wakeup: the fuzzer needs the right seed; the
+    explorer finds it at bound 0 with no randomness anywhere."""
+    report = explore("requeue", CONFIG, fault="drop-requeue",
+                     preemption_bound=0)
+    assert len(report.failures) == 1
+    verdict = report.failures[0]
+    assert [v.oracle for v in verdict.violations] == ["lost-wakeup"]
+    assert verdict.name == f"drop-requeue:requeue:{CONFIG}:det"
+
+
+def test_replay_round_trip():
+    report = explore("litmus-mp", CONFIG, preemption_bound=1)
+    deviating = [v for v in report.verdicts if v.deviations]
+    assert deviating
+    for verdict in deviating[:3]:
+        again = replay("litmus-mp", CONFIG, verdict.deviations)
+        assert again.signature == verdict.signature
+        assert again.n_steps == verdict.n_steps
+        assert again.failed == verdict.failed
+        assert again.divergences == ()
+
+
+def test_explorer_counterexample_shrinks_through_shared_loop():
+    """Satellite: explorer counterexamples route through the same
+    shrink_change_points greedy loop as the fuzzer's change-points."""
+    report = explore("requeue", CONFIG, fault="drop-requeue",
+                     preemption_bound=1, max_schedules=30)
+    deviating = [v for v in report.failures if v.deviations]
+    assert deviating, "bound-1 exploration found no deviating failure"
+    failure = deviating[0]
+    shrunk, result = shrink_change_points(failure)
+    # The det schedule already fails under this fault, so the greedy
+    # loop must drop every deviation — pinning the fully-shrunk trace.
+    assert shrunk == []
+    assert result.failed
+    assert replay("requeue", CONFIG, shrunk, fault="drop-requeue").failed
+
+
+def test_node_failure_has_no_children():
+    from repro.check.explore import node_failure, node_spec
+    spec = node_spec("litmus-sb", CONFIG, (0, 1), (), None, 1, None, True)
+    outcome = node_failure(spec, "worker died")
+    assert outcome.children == ()
+    assert outcome.verdict.failed
+    assert outcome.verdict.violations[0].oracle == "run-failure"
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial
+# ----------------------------------------------------------------------
+
+
+def test_parallel_exploration_matches_serial():
+    kwargs = dict(preemption_bound=None, max_depth=20,
+                  max_schedules=2000)
+    serial = explore("litmus-inc", CONFIG, jobs=1, **kwargs)
+    parallel = explore("litmus-inc", CONFIG, jobs=3, **kwargs)
+    assert not serial.truncated
+    assert (serial.explored, serial.pruned) == (
+        parallel.explored, parallel.pruned)
+    assert [(v.name, v.failed, v.signature) for v in serial.verdicts] \
+        == [(v.name, v.failed, v.signature) for v in parallel.verdicts]
+
+
+# ----------------------------------------------------------------------
+# Differential: exploration finds what the det fuzz matrix finds
+# ----------------------------------------------------------------------
+
+#: The fast coordinates of the oracle self-test table
+#: (tests/test_fault_oracle_selftests.py): broken fault variants whose
+#: det-schedule failure the explorer must reproduce at bound 0 —
+#: deterministically, without any schedule randomness.
+DIFFERENTIAL = [
+    ("spurious-violation+broken", "counter", 0, None),
+    ("delayed-violation+broken", "counter", 0, None),
+    ("token-loss+broken", "counter", 0, 60_000),
+    ("handler-reentry+broken", "requeue", 0, None),
+    ("watch-drop+broken", "counter", 0, None),
+]
+
+
+@pytest.mark.parametrize("fault,program,seed,max_cycles", DIFFERENTIAL,
+                         ids=[c[0] for c in DIFFERENTIAL])
+def test_explore_finds_every_det_fuzz_violation(fault, program, seed,
+                                                max_cycles):
+    fuzz = run_case(program, CONFIG, "det", seed, fault=fault,
+                    max_cycles=max_cycles)
+    fuzz_kinds = {v.oracle for v in fuzz.violations}
+    assert fuzz_kinds, "self-test coordinate no longer fails under fuzz"
+    report = explore(program, CONFIG, fault=fault, seed=seed,
+                     preemption_bound=0, max_cycles=max_cycles)
+    explore_kinds = {v.oracle
+                     for verdict in report.failures
+                     for v in verdict.violations}
+    assert fuzz_kinds <= explore_kinds, (
+        f"explorer missed {fuzz_kinds - explore_kinds}")
+
+
+def test_verdict_str_formats():
+    verdict = ScheduleVerdict(program="litmus-sb", config=CONFIG,
+                              fault=None, seed=1, deviations=((3, 1),))
+    assert "3@1" in verdict.name
+    assert "ok" in str(verdict)

@@ -1,0 +1,153 @@
+"""Unit coverage for the harness formatters (harness/report.py) and the
+machine-readable exporters (harness/export.py)."""
+
+import csv
+import io
+import json
+import types
+
+import pytest
+
+from repro.harness.export import (
+    comparison_to_dict,
+    dump_json,
+    profile_to_dict,
+    rows_to_csv,
+    scaling_to_dicts,
+)
+from repro.harness.report import (
+    format_bar_chart,
+    format_figure5,
+    format_scaling,
+    format_table,
+)
+
+
+def _ns(**kwargs):
+    return types.SimpleNamespace(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# report.py
+# ----------------------------------------------------------------------
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["name", "cycles"],
+                        [("short", 12), ("a-longer-name", 3456)],
+                        title="Totals")
+    lines = text.splitlines()
+    assert lines[0] == "Totals"
+    assert lines[1].startswith("name")
+    assert set(lines[2]) <= {"-", " "}
+    # Every data row is padded to the same width as the header rule.
+    assert len(lines[2]) == len(lines[1].rstrip()) or "cycles" in lines[1]
+    assert "a-longer-name" in lines[4]
+    # Cells are stringified, so numbers survive.
+    assert "3456" in text
+
+
+def test_format_table_without_title():
+    text = format_table(["a"], [("x",)])
+    assert text.splitlines()[0] == "a"
+
+
+def test_format_figure5_rows_and_title():
+    comparisons = [
+        _ns(name="mp3d", improvement=1.23, total_speedup=4.5,
+            flat_speedup=3.7),
+        _ns(name="barnes", improvement=1.05, total_speedup=5.1,
+            flat_speedup=4.9),
+    ]
+    text = format_figure5(comparisons)
+    assert "Figure 5" in text
+    assert "mp3d" in text and "barnes" in text
+    assert "1.23x" in text
+    assert "4.50" in text and "3.70" in text
+
+
+def test_format_scaling_normalizes_to_first_point():
+    points = [
+        _ns(n=1, work_items=10, cycles=1000, throughput=0.01),
+        _ns(n=4, work_items=40, cycles=1000, throughput=0.04),
+    ]
+    text = format_scaling(points, "I/O scaling", item_label="ops")
+    assert "I/O scaling" in text
+    assert "ops/kcycle" in text
+    assert "1.00x" in text  # the base point vs itself
+    assert "4.00x" in text  # perfect scaling at 4 threads
+
+
+def test_format_bar_chart_scales_to_peak():
+    text = format_bar_chart([("a", 2.0), ("b", 1.0)], width=10,
+                            title="bars")
+    lines = text.splitlines()
+    assert lines[0] == "bars"
+    bar_a = lines[1].split("|")[1].strip().split()[0]
+    bar_b = lines[2].split("|")[1].strip().split()[0]
+    assert len(bar_a) == 10  # peak fills the width
+    assert len(bar_b) == 5
+    assert "2.00" in lines[1] and "1.00" in lines[2]
+
+
+def test_format_bar_chart_zero_values_do_not_divide_by_zero():
+    text = format_bar_chart([("empty", 0.0)])
+    # Every bar renders at least one glyph, even at zero.
+    assert "#" in text
+
+
+# ----------------------------------------------------------------------
+# export.py
+# ----------------------------------------------------------------------
+
+
+def test_comparison_to_dict_round_trips_fields():
+    comparison = _ns(name="mp3d", seq_cycles=100, flat_cycles=60,
+                     nested_cycles=50, improvement=1.2,
+                     total_speedup=2.0, flat_speedup=1.67)
+    data = comparison_to_dict(comparison)
+    assert data == {
+        "name": "mp3d", "seq_cycles": 100, "flat_cycles": 60,
+        "nested_cycles": 50, "improvement": 1.2, "total_speedup": 2.0,
+        "flat_speedup": 1.67,
+    }
+
+
+def test_scaling_to_dicts_handles_both_point_shapes():
+    scaling_point = _ns(n=2, cycles=500, work_items=20, throughput=0.04)
+    speedup_point = _ns(n_cpus=8, cycles=300, speedup=3.3)
+    out = scaling_to_dicts([scaling_point, speedup_point])
+    assert out[0] == {"n": 2, "cycles": 500, "work_items": 20,
+                      "throughput": 0.04}
+    assert out[1] == {"n": 8, "cycles": 300, "speedup": 3.3}
+
+
+def test_profile_to_dict_stringifies_level_keys():
+    profile = _ns(name="probe", cycles=42,
+                  rollbacks_by_level={1: 3, 2: 0})
+    data = profile_to_dict(profile)
+    assert data["name"] == "probe"
+    assert data["rollbacks_by_level"] == {"1": 3, "2": 0}
+    # JSON-safe end to end.
+    json.loads(dump_json(data))
+
+
+def test_dump_json_writes_file(tmp_path):
+    path = tmp_path / "out.json"
+    text = dump_json({"b": 1, "a": 2}, path=str(path))
+    on_disk = path.read_text()
+    assert on_disk == text + "\n"
+    # sort_keys: stable output for diffing.
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_rows_to_csv_round_trips(tmp_path):
+    path = tmp_path / "out.csv"
+    text = rows_to_csv(["n", "cycles"], [(1, 100), (2, "with,comma")],
+                       path=str(path))
+    # csv emits \r\n line endings; compare bytes to dodge universal
+    # newline translation.
+    assert path.read_bytes().decode() == text
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["n", "cycles"]
+    assert rows[2] == ["2", "with,comma"]
