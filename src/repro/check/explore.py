@@ -102,14 +102,19 @@ from repro.sim.schedule import (
     SchedulePruned,
 )
 
+from repro.obs.profiler import CycleProfiler
+from repro.obs.sinks import RingSink
+from repro.sim.trace import Tracer
+
 from repro.check.fuzz import (
     CONFIGS,
     FAULTS,
+    TRACE_RING,
     build_config,
     collect_violations,
 )
 from repro.check.history import HistoryRecorder
-from repro.check.oracles import OracleViolation
+from repro.check.oracles import OracleViolation, check_cycle_conservation
 from repro.check.programs import make_program
 
 #: The explorer's candidate window (cycles) — the fuzzer's default.  A
@@ -470,6 +475,8 @@ class ScheduleVerdict:
     signature: tuple = ()
     #: Forced choices that were unavailable on replay (normally empty).
     divergences: tuple = ()
+    #: Last-K trace ring of a *failing* schedule (empty on a pass).
+    trace: tuple = ()
 
     @property
     def failed(self):
@@ -488,6 +495,9 @@ class ScheduleVerdict:
                     f"{self.n_steps} steps)")
         lines = [f"{self.name}: FAILED ({self.n_committed} commits)"]
         lines += [f"  {violation}" for violation in self.violations]
+        if self.trace:
+            lines.append(f"  trace tail ({len(self.trace)} events):")
+            lines += [f"    {event}" for event in self.trace]
         return "\n".join(lines)
 
 
@@ -509,7 +519,9 @@ def _should_prune(prune, fault, config):
 def _execute(program_name, config_name, forced, sleep, sleep_from,
              fault, seed, max_cycles, record):
     """Run one controlled schedule; returns the post-run state tuple
-    ``(program, machine, policy, history, error, pruned_at, recorder)``.
+    ``(program, machine, policy, history, error, pruned_at, recorder,
+    obs)`` where ``obs`` is the ``(tracer, profiler)`` pair every node
+    carries (trace-on-failure ring + cycle-conservation books).
     """
     if fault is not None and fault not in FAULTS:
         raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
@@ -531,6 +543,8 @@ def _execute(program_name, config_name, forced, sleep, sleep_from,
     runtime = Runtime(machine)
     arena = SharedArena(machine)
     history_recorder = HistoryRecorder(machine)
+    profiler = CycleProfiler(machine)
+    tracer = Tracer(machine, sink=RingSink(TRACE_RING, mode="tail"))
     error = None
     pruned_at = None
     try:
@@ -541,13 +555,15 @@ def _execute(program_name, config_name, forced, sleep, sleep_from,
     except ReproError as exc:
         error = exc
     finally:
+        tracer.detach()
+        profiler.detach()
         history_recorder.detach()
         if injector is not None:
             injector.detach()
         if recorder is not None:
             recorder.detach()
     return (program, machine, policy, history_recorder.history, error,
-            pruned_at, recorder)
+            pruned_at, recorder, (tracer, profiler))
 
 
 def _trace_deviations(policy):
@@ -559,9 +575,15 @@ def _trace_deviations(policy):
 
 
 def _make_verdict(program_name, config_name, fault, seed, program,
-                  machine, policy, history, error):
+                  machine, policy, history, error, obs=None):
     violations, error = collect_violations(
         program, machine, history, error, fault)
+    trace = ()
+    if obs is not None:
+        tracer, profiler = obs
+        violations += check_cycle_conservation(profiler.account())
+        if violations:
+            trace = tuple(tracer.events)
     return ScheduleVerdict(
         program=program_name, config=config_name, fault=fault, seed=seed,
         deviations=_trace_deviations(policy),
@@ -570,7 +592,8 @@ def _make_verdict(program_name, config_name, fault, seed, program,
         n_committed=len(history),
         n_steps=len(policy.choices),
         signature=history.signature(),
-        divergences=tuple(policy.divergences))
+        divergences=tuple(policy.divergences),
+        trace=trace)
 
 
 def _pending_footprints(choices, footprints, deliveries, cpu_ids):
@@ -659,14 +682,15 @@ def run_node(program_name, config_name, prefix=(), sleep=(), fault=None,
     branches may be taken.
     """
     prefix = tuple(prefix)
-    program, machine, policy, history, error, pruned_at, recorder = (
+    program, machine, policy, history, error, pruned_at, recorder, obs = (
         _execute(program_name, config_name, dict(enumerate(prefix)),
                  sleep, len(prefix), fault, seed, max_cycles,
                  record=prune))
     verdict = None
     if pruned_at is None:
         verdict = _make_verdict(program_name, config_name, fault, seed,
-                                program, machine, policy, history, error)
+                                program, machine, policy, history, error,
+                                obs=obs)
     children = _make_children(prefix, policy, recorder, max_depth,
                               machine.config.n_cpus)
     return NodeOutcome(prefix=prefix, pruned=pruned_at is not None,
@@ -683,11 +707,12 @@ def replay(program_name, config_name, deviations, fault=None, seed=1,
     so a counterexample replays from its name alone.
     """
     deviations = tuple(sorted(tuple(d) for d in deviations))
-    program, machine, policy, history, error, _pruned, _rec = _execute(
-        program_name, config_name, dict(deviations), (), 0, fault, seed,
-        max_cycles, record=False)
+    program, machine, policy, history, error, _pruned, _rec, obs = (
+        _execute(program_name, config_name, dict(deviations), (), 0,
+                 fault, seed, max_cycles, record=False))
     return _make_verdict(program_name, config_name, fault, seed,
-                         program, machine, policy, history, error)
+                         program, machine, policy, history, error,
+                         obs=obs)
 
 
 # ----------------------------------------------------------------------

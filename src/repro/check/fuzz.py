@@ -48,14 +48,23 @@ from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
 from repro.sim.schedule import PriorityPolicy, make_policy
 
+from repro.obs.profiler import CycleProfiler
+from repro.obs.sinks import RingSink
+from repro.sim.trace import Tracer
+
 from repro.check.history import HistoryRecorder
 from repro.check.oracles import (
     OracleViolation,
+    check_cycle_conservation,
     check_fault_quiescence,
     check_lost_wakeups,
     check_serializability,
 )
 from repro.check.programs import PROGRAMS, make_program
+
+#: Events kept in each case's trace-on-failure ring (the last K; a
+#: failing case ships them home attached to its result).
+TRACE_RING = 64
 
 #: The configuration matrix, named so failures replay by name.
 CONFIGS = {
@@ -98,6 +107,9 @@ class CaseResult:
     fault: str = None            # fault name, if one was injected
     n_injections: int = 0        # how many times the plan fired
     fired: tuple = ()            # (opportunity, cpu, detail) per injection
+    #: Last-K trace ring of a *failing* run (empty on a pass), shipped
+    #: back picklable from campaign workers.
+    trace: tuple = ()
 
     @property
     def failed(self):
@@ -125,6 +137,9 @@ class CaseResult:
         lines += [f"  {violation}" for violation in self.violations]
         if self.fired_points:
             lines.append(f"  pct change-points fired: {self.fired_points}")
+        if self.trace:
+            lines.append(f"  trace tail ({len(self.trace)} events):")
+            lines += [f"    {event}" for event in self.trace]
         return "\n".join(lines)
 
 
@@ -190,6 +205,12 @@ def run_case(program_name, config_name, policy_name, seed,
     runtime = Runtime(machine)
     arena = SharedArena(machine)
     recorder = HistoryRecorder(machine)
+    # Observability rides along on every case: the profiler's books are
+    # checked by the conservation oracle, and the last-K trace ring is
+    # attached to the result if the case fails.  Both attach last (so
+    # they sit topmost on the shared seams) and detach first.
+    profiler = CycleProfiler(machine)
+    tracer = Tracer(machine, sink=RingSink(TRACE_RING, mode="tail"))
     error = None
     try:
         program.setup(machine, runtime, arena)
@@ -197,15 +218,19 @@ def run_case(program_name, config_name, policy_name, seed,
     except ReproError as exc:
         error = exc
     finally:
+        tracer.detach()
+        profiler.detach()
         recorder.detach()
         if injector is not None:
             injector.detach()
     history = recorder.history
     violations, error = collect_violations(
         program, machine, history, error, fault)
+    violations += check_cycle_conservation(profiler.account())
     return CaseResult(
         program_name, config_name, policy_name, seed,
         violations=violations,
+        trace=tuple(tracer.events) if violations else (),
         n_committed=len(history),
         commit_cpus=tuple(r.cpu for r in history.committed),
         error=str(error) if error else None,

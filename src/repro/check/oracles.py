@@ -28,6 +28,13 @@ These oracles state what "correct" means, checkable on any schedule:
   serial owner.  Leftover speculative state means a recovery path lost
   track of a transaction even though the program's invariants happened to
   survive.
+* **Cycle conservation** (:func:`check_cycle_conservation`): the
+  :class:`~repro.obs.profiler.CycleProfiler`'s per-CPU buckets
+  (committed / wasted / handler / overhead / idle) must be non-negative
+  and sum to exactly ``cycles × cpus``.  Idle is measured from real
+  scheduling gaps, not computed as a residual, so any cycle the books
+  lose — a rollback that failed to reclassify speculative work, an op
+  charged twice — surfaces as an imbalance.
 """
 
 from __future__ import annotations
@@ -216,6 +223,22 @@ def check_invariant(name, ok, detail=""):
     if ok:
         return []
     return [OracleViolation("invariant", f"{name}: {detail}")]
+
+
+# ----------------------------------------------------------------------
+# Cycle conservation
+# ----------------------------------------------------------------------
+
+def check_cycle_conservation(account):
+    """Every simulated cycle must land in exactly one profiler bucket.
+
+    ``account`` is a :class:`~repro.obs.profiler.CycleAccount` (or None,
+    when no profiler ran).  Zero or more :class:`OracleViolation`\\ s.
+    """
+    if account is None:
+        return []
+    return [OracleViolation("cycle-conservation", problem)
+            for problem in account.problems()]
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.harness.report import (
 )
 from repro.workloads import (
     CondSyncWorkload,
+    DetectionStressKernel,
     IoLogWorkload,
     JbbWorkload,
     SCIENTIFIC_KERNELS,
@@ -41,6 +42,7 @@ WORKLOADS = {kernel.name: kernel for kernel in SCIENTIFIC_KERNELS}
 WORKLOADS["jbb-closed"] = lambda **kw: JbbWorkload(variant="closed", **kw)
 WORKLOADS["jbb-open"] = lambda **kw: JbbWorkload(variant="open", **kw)
 WORKLOADS["iolog"] = IoLogWorkload
+WORKLOADS["detstress"] = DetectionStressKernel
 
 
 def cmd_figure5(args):
@@ -140,7 +142,7 @@ def cmd_profile(args):
         workload = factory(n_threads=args.cpus, scale=args.scale)
         machine = workload.run(
             paper_config(n_cpus=max(args.cpus, workload.min_cpus()),
-                         flatten=flatten))
+                         flatten=flatten, **workload.config_overrides))
         profiles.append((f"{args.workload} [{label}]",
                          profile_machine(machine)))
     print(format_profiles(profiles,
@@ -149,28 +151,80 @@ def cmd_profile(args):
 
 
 def cmd_trace(args):
-    from repro.common.params import paper_config
-    from repro.sim.trace import ALL_KINDS, Tracer
+    from repro.check.fuzz import build_config
+    from repro.check.programs import PROGRAMS, make_program
+    from repro.harness.report import format_cycle_accounting
     from repro.mem.layout import SharedArena
+    from repro.obs import (
+        ChromeTraceSink,
+        CycleProfiler,
+        JsonlSink,
+        RingSink,
+        TeeSink,
+        account_metrics,
+        machine_metrics,
+    )
     from repro.runtime.core import Runtime
     from repro.sim.engine import Machine
+    from repro.sim.trace import ALL_KINDS, Tracer
 
     kinds = (frozenset(args.kinds.split(",")) if args.kinds
              else ALL_KINDS)
-    factory = WORKLOADS[args.workload]
-    workload = factory(n_threads=args.cpus, scale=args.scale)
-    machine = Machine(paper_config(
-        n_cpus=max(args.cpus, workload.min_cpus())))
+    if args.target in WORKLOADS:
+        workload = WORKLOADS[args.target](
+            n_threads=args.cpus, scale=args.scale)
+        config = paper_config(n_cpus=max(args.cpus, workload.min_cpus()),
+                              **workload.config_overrides)
+    else:
+        workload = make_program(args.target, seed=args.seed)
+        config = build_config(args.config, workload)
+
+    sinks = [RingSink(args.limit, mode="head")]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    if args.chrome:
+        sinks.append(ChromeTraceSink(args.chrome))
+    sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
+
+    machine = Machine(config)
     runtime = Runtime(machine)
     arena = SharedArena(machine)
-    with Tracer(machine, kinds=kinds, limit=args.limit) as tracer:
+    profiler = CycleProfiler(machine)
+    tracer = Tracer(machine, kinds=kinds, sink=sink)
+    error = None
+    try:
         workload.setup(machine, runtime, arena)
         machine.run(max_cycles=2_000_000_000)
         workload.verify(machine)
-        print(tracer.format())
-        print(f"... {len(tracer.events)} events shown "
-              f"(limit {args.limit}); kinds: {sorted(kinds)}")
-    return 0
+    except Exception as exc:
+        error = exc
+    finally:
+        tracer.detach()
+        profiler.detach()
+        sink.close()
+    account = profiler.account()
+
+    print(tracer.format())
+    print(f"... {len(tracer.events)} events shown "
+          f"(ring limit {args.limit}, {tracer.dropped} dropped); "
+          f"kinds: {sorted(kinds)}")
+    if args.jsonl:
+        print(f"wrote JSONL event stream to {args.jsonl}")
+    if args.chrome:
+        print(f"wrote Chrome trace to {args.chrome} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    print()
+    print(format_cycle_accounting(
+        account, title=f"cycle accounting ({args.target})"))
+    if args.metrics:
+        registry = machine_metrics(machine)
+        account_metrics(account, registry)
+        registry.to_json(args.metrics)
+        print(f"wrote metrics JSON to {args.metrics}")
+    if error is not None:
+        print(f"trace: run FAILED: {error}", file=sys.stderr)
+        return 1
+    return 0 if account.balanced else 1
 
 
 def cmd_check(args):
@@ -433,13 +487,35 @@ def build_parser():
                    help="skip the nested run")
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("trace", help="run a workload and print its "
-                       "architectural event trace")
+    from repro.check.fuzz import CONFIGS
+    from repro.check.programs import PROGRAMS
+
+    p = sub.add_parser("trace", help="run a workload or check program; "
+                       "print, stream, or export its event trace plus "
+                       "cycle accounting")
     common(p)
-    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("target", choices=sorted(WORKLOADS) + sorted(PROGRAMS),
+                   metavar="TARGET",
+                   help="a workload kernel or a check/litmus program")
     p.add_argument("--kinds", default="",
                    help="comma-separated event kinds (default: all)")
-    p.add_argument("--limit", type=int, default=60)
+    p.add_argument("--limit", type=int, default=60,
+                   help="in-memory ring capacity for the printed trace")
+    p.add_argument("--config", default="lazy-wb-assoc",
+                   choices=sorted(CONFIGS),
+                   help="machine config for check programs "
+                        "(default lazy-wb-assoc; workloads use the "
+                        "paper config)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="check-program seed (default 1)")
+    p.add_argument("--jsonl", default="",
+                   help="also stream every event to this JSONL file")
+    p.add_argument("--chrome", default="",
+                   help="also write a Chrome trace-event JSON timeline "
+                        "(chrome://tracing / Perfetto loadable)")
+    p.add_argument("--metrics", default="",
+                   help="write machine + cycle-accounting metrics JSON "
+                        "to this path")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(

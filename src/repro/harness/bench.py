@@ -166,6 +166,41 @@ def run_flagship(repeat=3):
     }
 
 
+def run_flagship_accounting(expected_cycles=None):
+    """Profile the indexed flagship run and close the cycle books.
+
+    Doubles as the zero-perturbation guard: the profiler shadows
+    ``cpu.execute`` and wraps the HTM seams, and the machine it profiles
+    must still produce *exactly* the unprofiled flagship cycle count —
+    any drift means the instrument changed observable behaviour.
+    Returns ``(CycleAccount, list of errors)``.
+    """
+    from repro.obs.profiler import CycleProfiler
+
+    workload = DetectionStressKernel(n_threads=FLAGSHIP_CPUS)
+    machine = Machine(_flagship_config(naive=False))
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    workload.setup(machine, runtime, arena)
+    profiler = CycleProfiler(machine)
+    try:
+        machine.run(max_cycles=2_000_000_000)
+        workload.verify(machine)
+    finally:
+        profiler.detach()
+    account = profiler.account()
+
+    errors = []
+    cycles = machine.stats.get("cycles")
+    if expected_cycles is not None and cycles != expected_cycles:
+        errors.append(
+            f"{FLAGSHIP_ID} (profiled): {cycles} cycles != unprofiled "
+            f"{expected_cycles} — the profiler perturbed the run")
+    errors.extend(f"{FLAGSHIP_ID} accounting: {problem}"
+                  for problem in account.problems())
+    return account, errors
+
+
 class BenchMismatch(AssertionError):
     """A bench invariant (golden equality or detector parity) failed."""
 
@@ -241,6 +276,16 @@ def run_bench(smoke=False, repeat=3, update_golden=False,
             errors.append(
                 f"{FLAGSHIP_ID}: speedup {flagship['speedup']}x below the "
                 f"required {min_speedup}x")
+        report(f"  {FLAGSHIP_ID}: cycle accounting (profiled re-run)...")
+        account, account_errors = run_flagship_accounting(
+            expected_cycles=flagship["cycles"])
+        errors.extend(account_errors)
+        flagship["accounting"] = account.as_dict()
+        from repro.harness.report import format_cycle_accounting
+        for line in format_cycle_accounting(
+                account,
+                title=f"  wasted-work breakdown ({FLAGSHIP_ID})").splitlines():
+            report(f"  {line}")
 
     results = {
         "smoke": smoke,

@@ -50,6 +50,29 @@ def format_scaling(points, title, item_label="items"):
         rows, title=title)
 
 
+def format_cycle_accounting(account, title="cycle accounting"):
+    """Render a :class:`~repro.obs.profiler.CycleAccount` as a table.
+
+    One row per bucket with absolute cycles and share of the total
+    budget, plus a totals row; wasted work and handler/commit overhead
+    become visible at a glance.
+    """
+    from repro.obs.profiler import BUCKETS
+
+    totals = account.totals
+    rows = [
+        (bucket, totals[bucket], f"{account.share(bucket) * 100:.1f}%")
+        for bucket in BUCKETS
+    ]
+    rows.append(("total", account.grand_total,
+                 "100.0%" if account.budget else "-"))
+    table = format_table(["bucket", "cycles", "share"], rows, title=title)
+    status = ("balanced" if account.balanced
+              else "IMBALANCED: " + "; ".join(account.problems()))
+    return (f"{table}\n  budget {account.budget} cycles "
+            f"({account.cycles} x {account.n_cpus} cpus) -- {status}")
+
+
 def format_bar_chart(labels_values, width=40, title=None):
     """An ASCII bar chart (for terminal-friendly figure rendering)."""
     lines = [title] if title else []

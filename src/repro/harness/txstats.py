@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.harness.report import format_table
+from repro.obs.seams import SeamStack
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,35 +54,44 @@ class TxStatsCollector:
         self.machine = machine
         self.records = []
         htm = machine.htm
-        self._saved = htm.commit
+        self._active = True
+        self._seams = SeamStack()
 
-        def commit(cpu_id, _orig=htm.commit):
-            state = htm.states[cpu_id]
-            if state.in_tx() and not state.flatten_extra:
-                level = state.depth()
-                info = state.current()
-                reads = len(state.rwsets.reads_at(level))
-                writes = len(state.rwsets.writes_at(level))
-                began = info.began_at
-                result = _orig(cpu_id)
-                if result.kind in ("outer", "closed", "open"):
-                    self.records.append(TxRecord(
-                        cpu=cpu_id,
-                        kind=result.kind,
-                        level=level,
-                        read_units=reads,
-                        write_units=writes,
-                        duration=machine.now - began,
-                    ))
-                return result
-            return _orig(cpu_id)
+        def make_commit(call_next):
+            def commit(cpu_id):
+                state = htm.states[cpu_id]
+                if (self._active and state.in_tx()
+                        and not state.flatten_extra):
+                    level = state.depth()
+                    info = state.current()
+                    reads = len(state.rwsets.reads_at(level))
+                    writes = len(state.rwsets.writes_at(level))
+                    began = info.began_at
+                    result = call_next(cpu_id)
+                    if result.kind in ("outer", "closed", "open"):
+                        self.records.append(TxRecord(
+                            cpu=cpu_id,
+                            kind=result.kind,
+                            level=level,
+                            read_units=reads,
+                            write_units=writes,
+                            duration=machine.now - began,
+                        ))
+                    return result
+                return call_next(cpu_id)
+            return commit
 
-        htm.commit = commit
+        self._seams.wrap(htm, "commit", make_commit)
 
     def detach(self):
-        if self._saved is not None:
-            self.machine.htm.commit = self._saved
-            self._saved = None
+        """Exact removal: the collector's wrapper is spliced out of the
+        commit seam wherever it sits, so stacked instruments (tracer,
+        profiler, collector) detach in any order without severing each
+        other."""
+        if not self._active:
+            return
+        self._active = False
+        self._seams.restore()
 
     def __enter__(self):
         return self

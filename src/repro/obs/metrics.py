@@ -1,0 +1,226 @@
+"""Unified metrics registry: labeled counters and histograms over the
+repo's existing statistics sources.
+
+:mod:`repro.common.stats` is a flat tree of dotted counters with per-CPU
+prefixes baked into the names (``cpu3.htm.commits_outer``);
+:mod:`repro.harness.txstats` records per-commit tuples.  This module
+layers one queryable shape over both:
+
+* :class:`MetricsRegistry` holds :class:`Counter` and :class:`Histogram`
+  families addressed by name + labels (``reg.counter("htm.commits")
+  .labels(cpu="3").add()``);
+* :meth:`MetricsRegistry.snapshot` / :func:`snapshot_delta` give
+  point-in-time and interval views;
+* :meth:`MetricsRegistry.to_json` exports everything as one JSON
+  document (the ``trace`` CLI's ``--metrics`` output);
+* :func:`machine_metrics` ingests a finished machine's stats tree,
+  lifting the ``cpuN.`` prefix into a ``cpu`` label;
+* :func:`txstats_metrics` ingests a
+  :class:`~repro.harness.txstats.TxStatsCollector`'s records into
+  read-/write-set and duration histograms labeled by commit kind;
+* :func:`account_metrics` ingests a
+  :class:`~repro.obs.profiler.CycleAccount`'s buckets.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Default histogram bucket upper bounds (powers of four: transaction
+#: sizes and durations span several orders of magnitude).
+DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+
+def _labelkey(labels):
+    return tuple(sorted(labels.items()))
+
+
+def _labelstr(labelkey):
+    if not labelkey:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labelkey) + "}"
+
+
+class Counter:
+    """One labeled counter family."""
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self._values = {}
+
+    def labels(self, **labels):
+        return _BoundCounter(self._values, _labelkey(labels))
+
+    def add(self, amount=1, **labels):
+        self.labels(**labels).add(amount)
+
+    def get(self, **labels):
+        return self._values.get(_labelkey(labels), 0)
+
+    def total(self):
+        return sum(self._values.values())
+
+    def snapshot(self):
+        return {_labelstr(key): value
+                for key, value in sorted(self._values.items())}
+
+
+class _BoundCounter:
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values, key):
+        self._values = values
+        self._key = key
+
+    def add(self, amount=1):
+        self._values[self._key] = self._values.get(self._key, 0) + amount
+
+
+class Histogram:
+    """One labeled histogram family with cumulative buckets."""
+
+    def __init__(self, name, help="", buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._series = {}
+
+    def labels(self, **labels):
+        key = _labelkey(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = {
+                "count": 0, "sum": 0, "max": 0,
+                "le": [0] * (len(self.buckets) + 1)}
+        return _BoundHistogram(series, self.buckets)
+
+    def observe(self, value, **labels):
+        self.labels(**labels).observe(value)
+
+    def snapshot(self):
+        out = {}
+        for key, series in sorted(self._series.items()):
+            label = _labelstr(key)
+            entry = {"count": series["count"], "sum": series["sum"],
+                     "max": series["max"]}
+            for bound, n in zip(self.buckets, series["le"]):
+                entry[f"le_{bound}"] = n
+            entry["le_inf"] = series["le"][-1]
+            out[label] = entry
+        return out
+
+
+class _BoundHistogram:
+    __slots__ = ("_series", "_buckets")
+
+    def __init__(self, series, buckets):
+        self._series = series
+        self._buckets = buckets
+
+    def observe(self, value):
+        series = self._series
+        series["count"] += 1
+        series["sum"] += value
+        if value > series["max"]:
+            series["max"] = value
+        le = series["le"]
+        for index, bound in enumerate(self._buckets):
+            if value <= bound:
+                le[index] += 1
+        le[-1] += 1
+
+
+class MetricsRegistry:
+    """A namespace of metric families; families are created on demand
+    and re-requesting a name returns the same family."""
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+
+    def counter(self, name, help=""):
+        family = self._counters.get(name)
+        if family is None:
+            family = self._counters[name] = Counter(name, help=help)
+        return family
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        family = self._histograms.get(name)
+        if family is None:
+            family = self._histograms[name] = Histogram(
+                name, help=help, buckets=buckets)
+        return family
+
+    def snapshot(self):
+        """``{"counters": {name: {labels: value}}, "histograms": ...}``."""
+        return {
+            "counters": {name: family.snapshot()
+                         for name, family in sorted(self._counters.items())},
+            "histograms": {name: family.snapshot()
+                           for name, family in
+                           sorted(self._histograms.items())},
+        }
+
+    def to_json(self, path=None, indent=2):
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text
+
+
+def snapshot_delta(before, after):
+    """Counter-wise ``after - before`` over two :meth:`snapshot` dicts
+    (new families/labels count from zero; histograms are not diffed)."""
+    delta = {"counters": {}}
+    for name, series in after.get("counters", {}).items():
+        base = before.get("counters", {}).get(name, {})
+        diffs = {label: value - base.get(label, 0)
+                 for label, value in series.items()
+                 if value != base.get(label, 0)}
+        if diffs:
+            delta["counters"][name] = diffs
+    return delta
+
+
+def machine_metrics(machine, registry=None):
+    """Ingest a machine's stats tree, lifting ``cpuN.`` into a label."""
+    registry = registry if registry is not None else MetricsRegistry()
+    for name, value in machine.stats.as_dict().items():
+        head, _, rest = name.partition(".")
+        if head.startswith("cpu") and head[3:].isdigit() and rest:
+            registry.counter(rest).add(value, cpu=head[3:])
+        else:
+            registry.counter(name).add(value)
+    return registry
+
+
+def txstats_metrics(collector, registry=None):
+    """Ingest per-commit :class:`~repro.harness.txstats.TxRecord`\\ s."""
+    registry = registry if registry is not None else MetricsRegistry()
+    reads = registry.histogram(
+        "tx.read_units", help="read-set size per committed transaction")
+    writes = registry.histogram(
+        "tx.write_units", help="write-set size per committed transaction")
+    duration = registry.histogram(
+        "tx.duration_cycles", help="xbegin-to-xcommit cycles")
+    levels = registry.histogram(
+        "tx.level", help="nesting level at commit", buckets=(1, 2, 3, 4, 8))
+    for record in collector.records:
+        reads.observe(record.read_units, kind=record.kind)
+        writes.observe(record.write_units, kind=record.kind)
+        duration.observe(record.duration, kind=record.kind)
+        levels.observe(record.level, kind=record.kind)
+    return registry
+
+
+def account_metrics(account, registry=None):
+    """Ingest a :class:`~repro.obs.profiler.CycleAccount`."""
+    registry = registry if registry is not None else MetricsRegistry()
+    family = registry.counter(
+        "cycles.bucket", help="per-CPU cycle accounting buckets")
+    for cpu, books in enumerate(account.per_cpu):
+        for bucket, value in books.items():
+            family.add(value, cpu=str(cpu), bucket=bucket)
+    return registry

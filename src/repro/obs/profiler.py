@@ -1,0 +1,340 @@
+"""Cycle accounting: attribute every simulated cycle to one bucket.
+
+The paper's performance story is about *where cycles go* — §7's
+commit/abort overheads, the work thrown away by violations, the cost of
+running software handlers.  The aggregate counters can't say that; this
+profiler can, and it is checkable: the buckets of one run must sum to
+exactly ``cycles × n_cpus``.
+
+Buckets (per CPU):
+
+* ``committed`` — user work that survived: non-transactional execution
+  plus speculative work whose transaction eventually published.
+* ``wasted`` — speculative work discarded by a rollback (or left
+  in-flight when the run ended).
+* ``handler`` — user-level cycles spent inside violation/abort
+  dispatcher frames (the paper's handler-management overhead).
+* ``overhead`` — the transactional bookkeeping instructions themselves:
+  ``xbegin``/``xvalidate``/``xcommit`` (commit arbitration and
+  broadcast), ``xrwsetclear`` (rollback undo work), and the rest of the
+  Table 2 management ops.
+* ``idle`` — cycles a CPU spent not executing: parked on a yield,
+  stalled on a NACK/commit token, descheduled, or finished early.
+
+Every cycle is charged as it happens by shadowing ``cpu.execute`` (an
+instance attribute, so an unprofiled machine pays nothing), and
+speculative work is tracked through the HTM's ``begin`` / ``commit`` /
+``rollback_to`` / ``abandon_all`` seams: a begin marks the speculative
+accumulator, an outer/open commit retires the span above its mark into
+``committed``, a rollback moves it into ``wasted``.  Idle is measured
+directly from the gaps between a CPU's busy intervals — *not* computed
+as a residual — which is what gives the conservation invariant teeth:
+any bookkeeping slip breaks ``sum(buckets) == cycles × n_cpus`` instead
+of hiding in a slack term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.obs.seams import SeamStack
+from repro.sim import ops as O
+
+#: Transaction-management op classes; their cycles are ``overhead``.
+_OVERHEAD_OPS = (
+    O.XBegin, O.XValidate, O.XCommit, O.XAbort, O.XRwSetClear,
+    O.XRegRestore, O.XVRet, O.XEnViolRep, O.XVClear,
+)
+
+BUCKETS = ("committed", "wasted", "handler", "overhead", "idle")
+
+
+class _CpuAccount:
+    """Mutable per-CPU books while the profiler is attached."""
+
+    __slots__ = ("committed", "wasted", "handler", "overhead", "idle",
+                 "spec", "marks", "depth", "last_end", "last_bucket")
+
+    def __init__(self):
+        self.committed = 0
+        self.wasted = 0
+        self.handler = 0
+        self.overhead = 0
+        self.idle = 0
+        #: Speculative user cycles not yet committed or discarded.
+        self.spec = 0
+        #: ``spec`` watermark at each live nesting level's begin.
+        self.marks = []
+        self.depth = 0
+        #: End of this CPU's last busy interval (cycle time).
+        self.last_end = 0
+        self.last_bucket = None
+
+    def take_back(self, amount):
+        """Remove ``amount`` cycles charged past the machine's final
+        time (the last op's latency can overshoot the end of the run).
+        Prefer the bucket charged last — that is where the overshoot
+        lives."""
+        order = [self.last_bucket] + ["spec", "overhead", "handler",
+                                      "wasted", "committed", "idle"]
+        for bucket in order:
+            if bucket is None:
+                continue
+            have = getattr(self, bucket)
+            take = min(amount, have)
+            if take:
+                setattr(self, bucket, have - take)
+                amount -= take
+            if not amount:
+                return
+        # Books already short by ``amount`` — leave it to the
+        # conservation check to report.
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleAccount:
+    """The finished books: per-CPU buckets plus the invariant verdict."""
+
+    cycles: int
+    n_cpus: int
+    per_cpu: tuple   # one {bucket: cycles} dict per CPU
+
+    @property
+    def totals(self):
+        out = {bucket: 0 for bucket in BUCKETS}
+        for books in self.per_cpu:
+            for bucket in BUCKETS:
+                out[bucket] += books[bucket]
+        return out
+
+    @property
+    def grand_total(self):
+        return sum(self.totals.values())
+
+    @property
+    def budget(self):
+        return self.cycles * self.n_cpus
+
+    def problems(self):
+        """Conservation violations, as human-readable strings."""
+        out = []
+        for cpu, books in enumerate(self.per_cpu):
+            negative = {b: v for b, v in books.items() if v < 0}
+            if negative:
+                out.append(f"cpu{cpu}: negative bucket(s) {negative}")
+            subtotal = sum(books.values())
+            if subtotal != self.cycles:
+                out.append(
+                    f"cpu{cpu}: buckets sum to {subtotal}, "
+                    f"not {self.cycles} cycles")
+        if self.grand_total != self.budget:
+            out.append(
+                f"sum(buckets) == {self.grand_total}, expected "
+                f"cycles x cpus == {self.cycles} x {self.n_cpus} "
+                f"== {self.budget}")
+        return out
+
+    @property
+    def balanced(self):
+        return not self.problems()
+
+    def share(self, bucket):
+        """``bucket``'s fraction of the total cycle budget."""
+        return self.totals[bucket] / self.budget if self.budget else 0.0
+
+    def as_dict(self):
+        return {
+            "cycles": self.cycles,
+            "n_cpus": self.n_cpus,
+            "totals": self.totals,
+            "per_cpu": [dict(books) for books in self.per_cpu],
+            "balanced": self.balanced,
+        }
+
+
+class CycleProfiler:
+    """Attaches the accounting seams to a machine until detached."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._cpu = [_CpuAccount() for _ in machine.cpus]
+        self._active = True
+        self._account = None
+        self._seams = SeamStack()
+        self._saved_execute = []
+        self._attach()
+
+    # ------------------------------------------------------------------
+
+    def _attach(self):
+        machine = self.machine
+        htm = machine.htm
+
+        for cpu in machine.cpus:
+            self._saved_execute.append(self._wrap_execute(cpu))
+
+        def make_begin(call_next):
+            def begin(cpu_id, open_, now):
+                state = htm.states[cpu_id]
+                pre = state.depth()
+                level = call_next(cpu_id, open_, now)
+                if self._active and state.depth() == pre + 1:
+                    books = self._cpu[cpu_id]
+                    books.marks.append(books.spec)
+                    books.depth += 1
+                return level
+            return begin
+
+        self._seams.wrap(htm, "begin", make_begin)
+
+        def make_commit(call_next):
+            def commit(cpu_id):
+                result = call_next(cpu_id)
+                if self._active:
+                    self._on_commit(cpu_id, result.kind)
+                return result
+            return commit
+
+        self._seams.wrap(htm, "commit", make_commit)
+
+        def make_rollback(call_next):
+            def rollback_to(cpu_id, level, now=0):
+                if self._active:
+                    self._on_rollback(cpu_id, level)
+                return call_next(cpu_id, level, now)
+            return rollback_to
+
+        self._seams.wrap(htm, "rollback_to", make_rollback)
+
+        def make_abandon(call_next):
+            def abandon_all(cpu_id):
+                if self._active:
+                    books = self._cpu[cpu_id]
+                    books.wasted += books.spec
+                    books.spec = 0
+                    books.marks.clear()
+                    books.depth = 0
+                return call_next(cpu_id)
+            return abandon_all
+
+        self._seams.wrap(htm, "abandon_all", make_abandon)
+
+    def _wrap_execute(self, cpu):
+        books = self._cpu[cpu.cpu_id]
+        prev = cpu.__dict__.get("execute")
+
+        def execute(op, now, _orig=cpu.execute):
+            # Account the gap since this CPU's last busy interval first,
+            # so an exception (CapacityAbort) leaves the books balanced.
+            if now > books.last_end:
+                books.idle += now - books.last_end
+                books.last_end = now
+            pre_depth = books.depth
+            pre_dispatch = cpu.dispatch_depth
+            outcome = _orig(op, now)
+            if outcome.stall:
+                return outcome
+            latency = outcome.latency
+            charged = latency if latency > 1 else 1
+            if isinstance(op, _OVERHEAD_OPS):
+                books.overhead += charged
+                books.last_bucket = "overhead"
+            elif pre_dispatch:
+                books.handler += charged
+                books.last_bucket = "handler"
+            elif pre_depth:
+                books.spec += charged
+                books.last_bucket = "spec"
+            else:
+                books.committed += charged
+                books.last_bucket = "committed"
+            books.last_end = now + charged
+            return outcome
+
+        cpu.execute = execute
+        return (cpu, prev, execute)
+
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, cpu_id, kind):
+        books = self._cpu[cpu_id]
+        if kind == "outer":
+            books.committed += books.spec
+            books.spec = 0
+            books.marks.clear()
+            books.depth = 0
+        elif kind == "open":
+            mark = books.marks.pop() if books.marks else 0
+            books.committed += books.spec - mark
+            books.spec = mark
+            books.depth = max(0, books.depth - 1)
+        elif kind == "closed":
+            if books.marks:
+                books.marks.pop()
+            books.depth = max(0, books.depth - 1)
+        # "flattened" commits end no real level: nothing moves.
+
+    def _on_rollback(self, cpu_id, level):
+        books = self._cpu[cpu_id]
+        if not 1 <= level <= len(books.marks):
+            return
+        mark = books.marks[level - 1]
+        books.wasted += books.spec - mark
+        books.spec = mark
+        del books.marks[level:]
+        books.depth = level
+
+    # ------------------------------------------------------------------
+
+    def detach(self):
+        """Restore the machine's unprofiled seams (exact, like the
+        tracer's) and freeze the books."""
+        if not self._active:
+            return
+        self._active = False
+        self._seams.restore()
+        for cpu, prev, wrapper in self._saved_execute:
+            # The wrapper shadows the class method via the instance dict;
+            # removing the shadow restores the zero-overhead class path
+            # (or whatever shadow an earlier instrument had installed).
+            if cpu.__dict__.get("execute") is wrapper:
+                if prev is None:
+                    del cpu.__dict__["execute"]
+                else:
+                    cpu.execute = prev
+        self._saved_execute = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    # ------------------------------------------------------------------
+
+    def account(self, cycles=None):
+        """Close the books against the machine's final time and return
+        the frozen :class:`CycleAccount` (idempotent)."""
+        if self._account is not None:
+            return self._account
+        if cycles is None:
+            cycles = self.machine.now
+        per_cpu = []
+        for books in self._cpu:
+            # Work still speculative when the run ended never committed.
+            books.wasted += books.spec
+            if books.last_bucket == "spec":
+                books.last_bucket = "wasted"
+            books.spec = 0
+            if books.last_end > cycles:
+                # The final op's latency ran past the end of simulated
+                # time; those cycles were never lived.
+                books.take_back(books.last_end - cycles)
+            elif books.last_end < cycles:
+                books.idle += cycles - books.last_end
+            per_cpu.append({bucket: getattr(books, bucket)
+                            for bucket in BUCKETS})
+        self._account = CycleAccount(
+            cycles=cycles, n_cpus=len(self._cpu), per_cpu=tuple(per_cpu))
+        return self._account

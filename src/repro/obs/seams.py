@@ -1,0 +1,87 @@
+"""Exact seam patching shared by the observability instruments.
+
+Every instrument in this repo works the same way: it shadows a bound
+attribute (``htm.commit``, ``machine.wake``, ``cpu.execute``) with a
+wrapper and restores the saved value on detach.  That restore is only
+correct while the instrument is still *topmost* — if a second instrument
+stacked its own wrapper on the same seam afterwards, blindly writing the
+saved value back severs the newer wrapper (the historical
+``Tracer.detach`` bug).
+
+:class:`SeamStack` makes removal exact.  Each wrapper delegates
+downstream through a one-slot *cell* rather than a captured default
+argument, and the cell is published on the wrapper itself
+(``__seam_cell__``).  Detaching then splices the wrapper out wherever it
+currently sits: if it is topmost the attribute is rebound to whatever
+the wrapper saw below it, and if it is buried under other
+:class:`SeamStack` wrappers the burying wrapper's cell is re-pointed
+past it.  Only a *foreign* wrapper on top (one that captured its
+downstream as a default argument and exposes no cell) defeats the
+splice; :meth:`restore` reports that case so the owner can deactivate
+its wrapper in place instead of corrupting the stack.
+
+The cell indirection costs one list index per delegated call while an
+instrument is attached, and nothing at all once it is removed — the
+zero-overhead-when-detached property every instrument here promises.
+"""
+
+from __future__ import annotations
+
+
+class SeamStack:
+    """A LIFO set of attribute patches with exact out-of-order removal."""
+
+    def __init__(self):
+        self._patches = []
+
+    def wrap(self, obj, attr, make):
+        """Shadow ``obj.attr`` with the wrapper built by ``make``.
+
+        ``make(call_next)`` must return the wrapper callable;
+        ``call_next(*args, **kwargs)`` invokes whatever currently sits
+        below the wrapper in this seam's stack (re-pointed if an
+        intermediate wrapper is later spliced out).
+        """
+        cell = [getattr(obj, attr)]
+
+        def call_next(*args, **kwargs):
+            return cell[0](*args, **kwargs)
+
+        wrapper = make(call_next)
+        wrapper.__seam_cell__ = cell
+        setattr(obj, attr, wrapper)
+        self._patches.append((obj, attr, wrapper, cell))
+        return wrapper
+
+    def restore(self):
+        """Unlink every patch, wherever it now sits in its seam's stack.
+
+        Returns True if every wrapper was physically removed.  False
+        means at least one wrapper is buried under a foreign wrapper
+        (no ``__seam_cell__`` to splice through) and had to stay in
+        place — the owner must then silence it, because it will keep
+        being called as a passthrough.
+        """
+        clean = True
+        for obj, attr, wrapper, cell in reversed(self._patches):
+            if not _unlink(obj, attr, wrapper, cell[0]):
+                clean = False
+        self._patches = []
+        return clean
+
+
+def _unlink(obj, attr, wrapper, below):
+    """Remove ``wrapper`` from the stack on ``obj.attr``; True on success."""
+    current = getattr(obj, attr)
+    if current is wrapper:
+        setattr(obj, attr, below)
+        return True
+    while current is not None:
+        cell = getattr(current, "__seam_cell__", None)
+        if cell is None:
+            return False
+        if cell[0] is wrapper:
+            cell[0] = below
+            return True
+        current = cell[0]
+    return False

@@ -1,0 +1,217 @@
+"""Pluggable trace sinks: where a :class:`~repro.sim.trace.Tracer` puts
+its events.
+
+The tracer itself only *produces* :class:`~repro.sim.trace.TraceEvent`
+records; a sink decides what happens to them:
+
+* :class:`RingSink` — bounded in-memory buffer.  ``mode="head"`` keeps
+  the first ``capacity`` events (the historical ``Tracer(limit=...)``
+  behaviour), ``mode="tail"`` keeps the last ``capacity`` (what a
+  trace-on-failure ring wants).  Either way the overflow is *counted*,
+  never silent: ``sink.dropped`` says how many events fell off.
+* :class:`JsonlSink` — streams one JSON object per line to a file, so a
+  campaign-length trace never has to fit in memory.
+  :func:`load_jsonl` reads the file back into events.
+* :class:`ChromeTraceSink` — emits Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto loadable): one track per CPU,
+  ``B``/``E`` duration spans for transactions (opened by ``begin``
+  events, closed by commits and reopened across rollbacks), instant
+  events for everything else.
+* :class:`TeeSink` — fans one event stream out to several sinks.
+
+All sinks share a tiny duck-typed contract: ``emit(event)``, ``close()``
+and (optionally) ``events`` / ``dropped`` for in-memory inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+
+class RingSink:
+    """Bounded in-memory sink with an explicit ``dropped`` count."""
+
+    def __init__(self, capacity=100_000, mode="head"):
+        if mode not in ("head", "tail"):
+            raise ValueError(f"unknown ring mode {mode!r}: head or tail")
+        if capacity < 0:
+            raise ValueError(f"negative ring capacity {capacity}")
+        self.capacity = capacity
+        self.mode = mode
+        self.dropped = 0
+        self._events = (deque(maxlen=capacity) if mode == "tail" else [])
+
+    def emit(self, event):
+        if self.mode == "head":
+            if len(self._events) < self.capacity:
+                self._events.append(event)
+            else:
+                self.dropped += 1
+        else:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+
+    @property
+    def events(self):
+        return list(self._events)
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Streams events to ``path`` as one JSON object per line."""
+
+    def __init__(self, path):
+        if hasattr(path, "write"):
+            self._fh, self._owns = path, False
+        else:
+            self._fh, self._owns = open(path, "w"), True
+        self.n_emitted = 0
+
+    def emit(self, event):
+        self._fh.write(json.dumps(
+            {"cycle": event.cycle, "kind": event.kind, "cpu": event.cpu,
+             "detail": event.detail},
+            sort_keys=True, separators=(",", ":"), default=str) + "\n")
+        self.n_emitted += 1
+
+    def close(self):
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def load_jsonl(path):
+    """Read a :class:`JsonlSink` file back into a list of events."""
+    from repro.sim.trace import TraceEvent
+
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            events.append(TraceEvent(
+                cycle=raw["cycle"], kind=raw["kind"], cpu=raw["cpu"],
+                detail=raw["detail"]))
+    return events
+
+
+class ChromeTraceSink:
+    """Chrome trace-event (Perfetto-loadable) exporter.
+
+    Every CPU is a thread (``tid``) of one process; transactions become
+    ``B``/``E`` duration spans (a rollback closes the discarded levels
+    and immediately reopens the restarted one, so retries are visible as
+    repeated spans); every other event kind is an instant (``i``) mark.
+    Timestamps are simulated cycles reported as microseconds — the viewer
+    only needs them monotone per track, which cycle time is.
+    """
+
+    def __init__(self, path=None):
+        self._path = path
+        self._events = []
+        self._spans = {}     # cpu -> [span name, ...] currently open
+        self._max_ts = 0
+        self._cpus = set()
+
+    # ------------------------------------------------------------------
+
+    def _record(self, phase, cpu, ts, name=None, args=None):
+        entry = {"ph": phase, "pid": 0, "tid": cpu, "ts": ts,
+                 "cat": "machine"}
+        if name is not None:
+            entry["name"] = name
+        if args:
+            entry["args"] = dict(args)
+        if phase == "i":
+            entry["s"] = "t"
+        self._events.append(entry)
+        self._max_ts = max(self._max_ts, ts)
+        self._cpus.add(cpu)
+
+    def _open_span(self, cpu, ts, name, args):
+        self._record("B", cpu, ts, name=name, args=args)
+        self._spans.setdefault(cpu, []).append(name)
+
+    def _close_span(self, cpu, ts, args=None):
+        stack = self._spans.get(cpu)
+        if not stack:
+            return
+        self._record("E", cpu, ts, name=stack.pop(), args=args)
+
+    def emit(self, event):
+        cpu, ts, detail = event.cpu, event.cycle, event.detail
+        if event.kind == "begin":
+            kind = "open tx" if detail.get("open") else "tx"
+            self._open_span(cpu, ts, f"{kind} L{detail.get('level')}",
+                            detail)
+        elif event.kind == "commit":
+            if detail.get("what") != "flattened":
+                self._close_span(cpu, ts, args=detail)
+        elif event.kind == "rollback":
+            # Close the discarded levels, then reopen the restarted one:
+            # the retry shows up as a fresh span on the same track.
+            level = detail.get("level", 1)
+            stack = self._spans.get(cpu, [])
+            while len(stack) >= max(level, 1):
+                self._close_span(cpu, ts)
+            self._record("i", cpu, ts, name="rollback", args=detail)
+            if level >= 1:
+                self._open_span(cpu, ts, f"tx L{level} (retry)", detail)
+        else:
+            self._record("i", cpu, ts, name=event.kind, args=detail)
+
+    # ------------------------------------------------------------------
+
+    def trace_dict(self):
+        """The complete trace-event JSON object (balancing open spans)."""
+        for cpu in sorted(self._spans):
+            while self._spans[cpu]:
+                self._close_span(cpu, self._max_ts)
+        meta = [{"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                 "args": {"name": "machine"}}]
+        meta += [{"ph": "M", "pid": 0, "tid": cpu, "name": "thread_name",
+                  "args": {"name": f"cpu{cpu}"}}
+                 for cpu in sorted(self._cpus)]
+        return {"traceEvents": meta + self._events,
+                "displayTimeUnit": "ms",
+                "otherData": {"time_unit": "simulated cycles as us"}}
+
+    def close(self):
+        if self._path is None:
+            return
+        with open(self._path, "w") as fh:
+            json.dump(self.trace_dict(), fh, default=str)
+            fh.write("\n")
+
+
+class TeeSink:
+    """Fans one event stream out to several sinks."""
+
+    def __init__(self, *sinks):
+        self.sinks = list(sinks)
+
+    def emit(self, event):
+        for sink in self.sinks:
+            sink.emit(event)
+
+    @property
+    def events(self):
+        for sink in self.sinks:
+            events = getattr(sink, "events", None)
+            if events is not None:
+                return events
+        return []
+
+    @property
+    def dropped(self):
+        return sum(getattr(sink, "dropped", 0) for sink in self.sinks)
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()

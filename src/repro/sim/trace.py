@@ -1,12 +1,12 @@
 """Structured event tracing for the simulated machine.
 
 A :class:`Tracer` attaches to a :class:`~repro.sim.engine.Machine` and
-records architectural events — commits, violation posts and deliveries,
-handler dispatches, rollbacks, parks/wakes — as typed records with
-timestamps.  It is the debugging instrument for everything the paper's
-mechanisms make subtle (who violated whom, at which nesting level, which
-handler ran, what got rolled back), and several regression tests assert
-against traces directly.
+records architectural events — transaction begins, commits, violation
+posts and deliveries, handler dispatches, rollbacks, parks/wakes — as
+typed records with timestamps.  It is the debugging instrument for
+everything the paper's mechanisms make subtle (who violated whom, at
+which nesting level, which handler ran, what got rolled back), and
+several regression tests assert against traces directly.
 
 Usage::
 
@@ -17,10 +17,21 @@ Usage::
         print(event)
     tracer.detach()
 
+Events go to a pluggable *sink* (:mod:`repro.obs.sinks`).  The default
+is a bounded in-memory :class:`~repro.obs.sinks.RingSink` keeping the
+first ``limit`` events — overflow is counted in :attr:`Tracer.dropped`,
+never silently swallowed.  Pass ``sink=`` to stream instead: a
+:class:`~repro.obs.sinks.JsonlSink` for campaign-length traces, a
+:class:`~repro.obs.sinks.ChromeTraceSink` for a Perfetto-loadable
+timeline, or a :class:`~repro.obs.sinks.TeeSink` of several.
+
 Tracing is implemented by wrapping a handful of well-defined seams
-(HtmSystem.commit / rollback_to, the violation sink, Machine.wake,
-Machine._push_dispatcher, Machine._park, Machine._fault_event);
-``detach`` restores them.  Overhead is zero when no tracer is attached.
+(HtmSystem.begin / commit / rollback_to, the violation sink,
+Machine.wake, Machine._push_dispatcher, Machine._park,
+Machine._fault_event) through a :class:`~repro.obs.seams.SeamStack`, so
+``detach`` is *exact*: instruments stacked on the same seams in any
+order detach in any order without severing each other.  Overhead is
+zero when no tracer is attached.
 
 ``fault`` events record injections by an attached
 :class:`repro.faults.FaultInjector`; on a machine without one the kind
@@ -31,14 +42,17 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.obs.seams import SeamStack
+from repro.obs.sinks import RingSink
+
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
     """One architectural event."""
 
     cycle: int
-    kind: str       # commit | violation | delivery | dispatch | rollback
-    #                 | wake | park | fault
+    kind: str       # begin | commit | violation | delivery | dispatch
+    #                 | rollback | wake | park | fault
     cpu: int
     detail: dict
 
@@ -49,116 +63,148 @@ class TraceEvent:
 
 #: All traceable event kinds.
 ALL_KINDS = frozenset(
-    {"commit", "violation", "delivery", "dispatch", "rollback", "wake",
-     "park", "fault"})
+    {"begin", "commit", "violation", "delivery", "dispatch", "rollback",
+     "wake", "park", "fault"})
 
 
 class Tracer:
     """Records machine events until detached."""
 
-    def __init__(self, machine, kinds=None, limit=100_000):
+    def __init__(self, machine, kinds=None, limit=100_000, sink=None):
         self.machine = machine
         self.kinds = frozenset(kinds) if kinds is not None else ALL_KINDS
         unknown = self.kinds - ALL_KINDS
         if unknown:
             raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
         self.limit = limit
-        self.events = []
-        self._saved = {}
+        self.sink = sink if sink is not None else RingSink(limit,
+                                                           mode="head")
+        self._active = True
+        self._attached = True
+        self._seams = SeamStack()
         self._attach()
+
+    @property
+    def events(self):
+        """The sink's buffered events ([] for write-only sinks)."""
+        return list(getattr(self.sink, "events", ()))
+
+    @property
+    def dropped(self):
+        """Events the sink discarded for capacity (0 if unbounded)."""
+        return getattr(self.sink, "dropped", 0)
 
     # ------------------------------------------------------------------
 
     def _emit(self, kind, cpu, **detail):
-        if kind not in self.kinds or len(self.events) >= self.limit:
+        if not self._active or kind not in self.kinds:
             return
-        self.events.append(TraceEvent(
+        self.sink.emit(TraceEvent(
             cycle=self.machine.now, kind=kind, cpu=cpu, detail=detail))
 
     def _attach(self):
         machine = self.machine
         htm = machine.htm
+        seams = self._seams
 
-        self._saved["commit"] = htm.commit
+        def make_begin(call_next):
+            def begin(cpu_id, open_, now):
+                state = htm.states[cpu_id]
+                pre = state.depth()
+                level = call_next(cpu_id, open_, now)
+                if state.depth() == pre + 1:
+                    # A real level started (flattened begins subsume).
+                    self._emit("begin", cpu_id, level=level,
+                               open=bool(open_))
+                return level
+            return begin
 
-        def commit(cpu_id, _orig=htm.commit):
-            result = _orig(cpu_id)
-            if result.kind in ("outer", "open"):
-                self._emit("commit", cpu_id, what=result.kind,
-                           words=len(result.written_words))
-            else:
-                self._emit("commit", cpu_id, what=result.kind)
-            return result
+        seams.wrap(htm, "begin", make_begin)
 
-        htm.commit = commit
+        def make_commit(call_next):
+            def commit(cpu_id):
+                result = call_next(cpu_id)
+                if result.kind in ("outer", "open"):
+                    self._emit("commit", cpu_id, what=result.kind,
+                               words=len(result.written_words))
+                else:
+                    self._emit("commit", cpu_id, what=result.kind)
+                return result
+            return commit
 
-        self._saved["rollback_to"] = htm.rollback_to
+        seams.wrap(htm, "commit", make_commit)
 
-        def rollback_to(cpu_id, level, now=0, _orig=htm.rollback_to):
-            self._emit("rollback", cpu_id, level=level)
-            return _orig(cpu_id, level, now)
+        def make_rollback(call_next):
+            def rollback_to(cpu_id, level, now=0):
+                self._emit("rollback", cpu_id, level=level)
+                return call_next(cpu_id, level, now)
+            return rollback_to
 
-        htm.rollback_to = rollback_to
+        seams.wrap(htm, "rollback_to", make_rollback)
 
-        self._saved["sink"] = htm.detector._sink
+        def make_sink(call_next):
+            def sink(violation):
+                self._emit("violation", violation.victim,
+                           mask=violation.mask, addr=violation.addr,
+                           source=violation.source)
+                call_next(violation)
+            return sink
 
-        def sink(violation, _orig=htm.detector._sink):
-            self._emit("violation", violation.victim, mask=violation.mask,
-                       addr=violation.addr, source=violation.source)
-            _orig(violation)
+        seams.wrap(htm.detector, "_sink", make_sink)
 
-        htm.detector._sink = sink
+        def make_push(call_next):
+            def push(cpu, kind):
+                call_next(cpu, kind)
+                if kind == "violation":
+                    self._emit("delivery", cpu.cpu_id,
+                               mask=cpu.isa.xvcurrent, addr=cpu.isa.xvaddr)
+                self._emit("dispatch", cpu.cpu_id, what=kind,
+                           depth=cpu.dispatch_depth)
+            return push
 
-        self._saved["push"] = machine._push_dispatcher
+        seams.wrap(machine, "_push_dispatcher", make_push)
 
-        def push(cpu, kind, _orig=machine._push_dispatcher):
-            _orig(cpu, kind)
-            if kind == "violation":
-                self._emit("delivery", cpu.cpu_id,
-                           mask=cpu.isa.xvcurrent, addr=cpu.isa.xvaddr)
-            self._emit("dispatch", cpu.cpu_id, what=kind,
-                       depth=cpu.dispatch_depth)
+        def make_wake(call_next):
+            def wake(cpu_id):
+                self._emit("wake", cpu_id,
+                           state=machine.cpus[cpu_id].state)
+                call_next(cpu_id)
+            return wake
 
-        machine._push_dispatcher = push
+        seams.wrap(machine, "wake", make_wake)
 
-        self._saved["wake"] = machine.wake
+        def make_park(call_next):
+            def park(cpu):
+                self._emit("park", cpu.cpu_id,
+                           depth=machine.htm.depth(cpu.cpu_id))
+                call_next(cpu)
+            return park
 
-        def wake(cpu_id, _orig=machine.wake):
-            self._emit("wake", cpu_id,
-                       state=machine.cpus[cpu_id].state)
-            _orig(cpu_id)
+        seams.wrap(machine, "_park", make_park)
 
-        machine.wake = wake
+        def make_fault(call_next):
+            def fault(kind, cpu_id, detail):
+                self._emit("fault", cpu_id, what=kind, **detail)
+                call_next(kind, cpu_id, detail)
+            return fault
 
-        self._saved["park"] = machine._park
-
-        def park(cpu, _orig=machine._park):
-            self._emit("park", cpu.cpu_id, depth=machine.htm.depth(cpu.cpu_id))
-            _orig(cpu)
-
-        machine._park = park
-
-        self._saved["fault"] = machine._fault_event
-
-        def fault(kind, cpu_id, detail, _orig=machine._fault_event):
-            self._emit("fault", cpu_id, what=kind, **detail)
-            _orig(kind, cpu_id, detail)
-
-        machine._fault_event = fault
+        seams.wrap(machine, "_fault_event", make_fault)
 
     def detach(self):
-        """Restore the machine's un-traced seams."""
-        if not self._saved:
+        """Remove the tracer's seam wrappers — exactly.
+
+        Wrappers are spliced out of each seam's stack wherever they sit,
+        so a tracer can detach before or after any other instrument
+        stacked on the same seams.  If a foreign wrapper (one that
+        captured its downstream directly) pins a tracer wrapper in
+        place, the wrapper stays as a gated passthrough and simply stops
+        emitting.
+        """
+        if not self._attached:
             return
-        machine = self.machine
-        machine.htm.commit = self._saved["commit"]
-        machine.htm.rollback_to = self._saved["rollback_to"]
-        machine.htm.detector._sink = self._saved["sink"]
-        machine._push_dispatcher = self._saved["push"]
-        machine.wake = self._saved["wake"]
-        machine._park = self._saved["park"]
-        machine._fault_event = self._saved["fault"]
-        self._saved = {}
+        self._attached = False
+        self._active = False
+        self._seams.restore()
 
     def __enter__(self):
         return self
@@ -186,4 +232,9 @@ class Tracer:
         if kinds is not None:
             wanted = frozenset(kinds)
             selected = [e for e in selected if e.kind in wanted]
-        return "\n".join(str(e) for e in selected)
+        lines = [str(e) for e in selected]
+        if self.dropped:
+            lines.append(
+                f"... {self.dropped} more events dropped at the sink's "
+                f"capacity")
+        return "\n".join(lines)

@@ -21,6 +21,11 @@ class Workload:
     #: Short name used in reports.
     name = "workload"
 
+    #: Config overrides this workload needs on top of the harness's
+    #: default machine (e.g. detstress wants eager detection and deep
+    #: nesting); the CLI's profile/trace commands apply them.
+    config_overrides = {}
+
     def __init__(self, n_threads, seed=1, scale=1.0):
         self.n_threads = n_threads
         self.seed = seed
@@ -41,12 +46,19 @@ class Workload:
 
     # -- driver ------------------------------------------------------------
 
-    def run(self, config, max_cycles=2_000_000_000, policy=None):
+    def run(self, config, max_cycles=2_000_000_000, policy=None,
+            instruments=()):
         """Build a machine, run this workload on it, verify, and return
         the machine (stats under ``machine.stats``).
 
         ``policy`` selects the engine's ready-CPU schedule
         (:mod:`repro.sim.schedule`); None keeps the deterministic default.
+
+        ``instruments`` is a sequence of factories, each called with the
+        built machine (e.g. ``Tracer``, ``CycleProfiler``, or a lambda
+        configuring either); the resulting instruments are detached in
+        reverse attach order before the machine is returned, even when
+        setup/run/verify raises.
         """
         if config.n_cpus < self.min_cpus():
             raise ReproError(
@@ -55,9 +67,14 @@ class Workload:
         machine = Machine(config, policy=policy)
         runtime = Runtime(machine)
         arena = SharedArena(machine)
-        self.setup(machine, runtime, arena)
-        machine.run(max_cycles=max_cycles)
-        self.verify(machine)
+        attached = [factory(machine) for factory in instruments]
+        try:
+            self.setup(machine, runtime, arena)
+            machine.run(max_cycles=max_cycles)
+            self.verify(machine)
+        finally:
+            for instrument in reversed(attached):
+                instrument.detach()
         return machine
 
     def min_cpus(self):

@@ -37,6 +37,9 @@ class DetectionStressKernel(Workload):
 
     name = "detstress"
 
+    #: Deep nesting plus eager detection — the flagship bench machine.
+    config_overrides = {"detection": "eager", "max_nesting": 8}
+
     #: Outer iterations per thread (scaled by ``scale``, min 1).
     rounds = 4
     #: Stores issued inside the innermost transaction per round.

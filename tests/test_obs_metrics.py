@@ -1,0 +1,176 @@
+"""Unified metrics registry: labels, snapshots, deltas, ingestion.
+
+The registry is the query layer over the repo's three statistics
+sources (the machine's flat stats tree, the per-commit txstats records,
+the profiler's cycle account); these tests pin the label algebra, the
+snapshot/delta contract, and each ingestion adapter.
+"""
+
+import json
+
+from repro.check.fuzz import build_config
+from repro.check.programs import make_program
+from repro.harness.txstats import TxStatsCollector
+from repro.mem.layout import SharedArena
+from repro.obs.metrics import (
+    MetricsRegistry,
+    account_metrics,
+    machine_metrics,
+    snapshot_delta,
+    txstats_metrics,
+)
+from repro.obs.profiler import BUCKETS, CycleProfiler
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.sim.schedule import make_policy
+
+
+def _run_instrumented(program_name="counter", config_name="lazy-wb-assoc",
+                      seed=1):
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    machine = Machine(config, policy=make_policy("det", seed=seed))
+    profiler = CycleProfiler(machine)
+    collector = TxStatsCollector(machine)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    program.setup(machine, runtime, arena)
+    machine.run(max_cycles=program.max_cycles)
+    program.verify(machine)
+    collector.detach()
+    profiler.detach()
+    return machine, collector, profiler.account()
+
+
+class TestCounter:
+    def test_labels_are_independent_series(self):
+        reg = MetricsRegistry()
+        commits = reg.counter("htm.commits")
+        commits.labels(cpu="0").add()
+        commits.labels(cpu="0").add(2)
+        commits.labels(cpu="1").add(5)
+        assert commits.get(cpu="0") == 3
+        assert commits.get(cpu="1") == 5
+        assert commits.get(cpu="9") == 0
+        assert commits.total() == 8
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        family = reg.counter("x")
+        family.add(1, a="1", b="2")
+        family.add(1, b="2", a="1")
+        assert family.get(a="1", b="2") == 2
+        assert family.snapshot() == {"{a=1,b=2}": 2}
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n") is reg.counter("n")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sizes", buckets=(1, 4, 16))
+        for value in (1, 2, 5, 100):
+            hist.observe(value)
+        snap = hist.snapshot()[""]
+        assert snap["count"] == 4
+        assert snap["sum"] == 108
+        assert snap["max"] == 100
+        assert snap["le_1"] == 1
+        assert snap["le_4"] == 2
+        assert snap["le_16"] == 3
+        assert snap["le_inf"] == 4
+
+    def test_labeled_series(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("dur", buckets=(10,))
+        hist.observe(5, kind="outer")
+        hist.observe(50, kind="open")
+        snap = hist.snapshot()
+        assert snap["{kind=outer}"]["count"] == 1
+        assert snap["{kind=open}"]["max"] == 50
+
+
+class TestSnapshotDelta:
+    def test_delta_counts_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(3, cpu="0")
+        before = reg.snapshot()
+        reg.counter("a").add(4, cpu="0")
+        reg.counter("b").add(1)
+        after = reg.snapshot()
+        delta = snapshot_delta(before, after)
+        assert delta["counters"] == {"a": {"{cpu=0}": 4}, "b": {"": 1}}
+
+    def test_empty_delta_for_identical_snapshots(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(3)
+        snap = reg.snapshot()
+        assert snapshot_delta(snap, snap) == {"counters": {}}
+
+    def test_to_json_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").add(3, cpu="1")
+        reg.histogram("h").observe(7)
+        path = tmp_path / "metrics.json"
+        text = reg.to_json(str(path))
+        assert json.loads(text) == reg.snapshot()
+        assert json.loads(path.read_text()) == reg.snapshot()
+
+
+class TestIngestion:
+    def test_machine_metrics_lifts_cpu_prefix_into_label(self):
+        machine, _, _ = _run_instrumented()
+        reg = machine_metrics(machine)
+        snap = reg.snapshot()["counters"]
+        # No dotted cpuN. names survive; they became labels.
+        assert not any(name.startswith("cpu") for name in snap)
+        per_cpu = [name for name, series in snap.items()
+                   if any(label.startswith("{cpu=") for label in series)]
+        assert per_cpu, "no per-CPU series ingested"
+        # Global counters (no cpu prefix) keep their bare label.
+        assert "cycles" in snap
+
+    def test_machine_metrics_totals_match_stats_tree(self):
+        machine, _, _ = _run_instrumented()
+        reg = machine_metrics(machine)
+        stats = machine.stats.as_dict()
+        outer = sum(v for k, v in stats.items()
+                    if k.endswith("htm.commits_outer"))
+        assert reg.counter("htm.commits_outer").total() == outer
+
+    def test_txstats_metrics_histograms_by_kind(self):
+        _, collector, _ = _run_instrumented()
+        assert collector.records
+        reg = txstats_metrics(collector)
+        snap = reg.snapshot()["histograms"]
+        total = sum(series["count"]
+                    for series in snap["tx.duration_cycles"].values())
+        assert total == len(collector.records)
+        kinds = {record.kind for record in collector.records}
+        assert set(snap["tx.read_units"]) == {
+            "{kind=%s}" % kind for kind in kinds}
+
+    def test_account_metrics_preserves_conservation(self):
+        _, _, account = _run_instrumented()
+        reg = account_metrics(account)
+        family = reg.counter("cycles.bucket")
+        assert family.total() == account.budget
+        for bucket in BUCKETS:
+            total = sum(
+                family.get(cpu=str(cpu), bucket=bucket)
+                for cpu in range(account.n_cpus))
+            assert total == account.totals[bucket]
+
+    def test_sources_compose_into_one_registry(self):
+        machine, collector, account = _run_instrumented()
+        reg = MetricsRegistry()
+        machine_metrics(machine, reg)
+        txstats_metrics(collector, reg)
+        account_metrics(account, reg)
+        snap = reg.snapshot()
+        assert "cycles.bucket" in snap["counters"]
+        assert "tx.duration_cycles" in snap["histograms"]
+        assert "cycles" in snap["counters"]

@@ -1,0 +1,205 @@
+"""Trace sinks: bounded rings, JSONL streaming, Chrome export, tee.
+
+The tracer's sinks are the observability layer's output stage, so each
+one pins its contract here: rings count overflow instead of swallowing
+it (the old ``Tracer(limit=...)`` silently truncated), the JSONL stream
+round-trips losslessly, and the Chrome exporter produces a structurally
+valid trace-event file — parseable JSON, per-track monotone timestamps,
+balanced begin/end spans — that Perfetto will actually load.
+"""
+
+import json
+
+import pytest
+
+from repro.check.fuzz import build_config
+from repro.check.programs import make_program
+from repro.mem.layout import SharedArena
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    RingSink,
+    TeeSink,
+    load_jsonl,
+)
+from repro.runtime.core import Runtime
+from repro.sim.engine import Machine
+from repro.sim.schedule import make_policy
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def _event(cycle, kind="commit", cpu=0, **detail):
+    return TraceEvent(cycle=cycle, kind=kind, cpu=cpu, detail=detail)
+
+
+def _run_traced(program_name, config_name, sink, seed=1):
+    program = make_program(program_name, seed=seed)
+    config = build_config(config_name, program)
+    machine = Machine(config, policy=make_policy("det", seed=seed))
+    tracer = Tracer(machine, sink=sink)
+    runtime = Runtime(machine)
+    arena = SharedArena(machine)
+    program.setup(machine, runtime, arena)
+    machine.run(max_cycles=program.max_cycles)
+    program.verify(machine)
+    tracer.detach()
+    return tracer
+
+
+class TestRingSink:
+    def test_head_mode_keeps_first_events_and_counts_drops(self):
+        ring = RingSink(3, mode="head")
+        for cycle in range(10):
+            ring.emit(_event(cycle))
+        assert [e.cycle for e in ring.events] == [0, 1, 2]
+        assert ring.dropped == 7
+
+    def test_tail_mode_keeps_last_events_and_counts_drops(self):
+        ring = RingSink(3, mode="tail")
+        for cycle in range(10):
+            ring.emit(_event(cycle))
+        assert [e.cycle for e in ring.events] == [7, 8, 9]
+        assert ring.dropped == 7
+
+    def test_no_drops_below_capacity(self):
+        for mode in ("head", "tail"):
+            ring = RingSink(5, mode=mode)
+            ring.emit(_event(1))
+            assert ring.dropped == 0
+            assert len(ring.events) == 1
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            RingSink(10, mode="middle")
+        with pytest.raises(ValueError):
+            RingSink(-1)
+
+    def test_tracer_surfaces_dropped_count(self):
+        """Regression: a tracer past its limit used to truncate
+        silently; now the overflow is counted and reported."""
+        tracer = _run_traced("counter", "lazy-wb-assoc",
+                             sink=RingSink(3, mode="head"))
+        assert len(tracer.events) == 3
+        assert tracer.dropped > 0
+        note = tracer.format().splitlines()[-1]
+        assert f"{tracer.dropped} more events dropped" in note
+
+    def test_tracer_default_sink_reports_zero_dropped(self):
+        tracer = _run_traced("counter", "lazy-wb-assoc",
+                             sink=RingSink(100_000, mode="head"))
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.format()
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        events = [
+            _event(5, "begin", 1, level=1, open=False),
+            _event(9, "violation", 2, mask=3, addr=4096, source=0),
+            _event(12, "commit", 1, what="outer", words=2),
+        ]
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert sink.n_emitted == 3
+        loaded = load_jsonl(str(path))
+        assert loaded == events
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        for cycle in range(4):
+            sink.emit(_event(cycle))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"cycle", "kind", "cpu", "detail"}
+
+    def test_streams_whole_run_without_ring_limit(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = _run_traced("counter", "lazy-wb-assoc", sink=sink)
+        sink.close()
+        # Write-only sink: nothing buffered, nothing dropped...
+        assert tracer.events == []
+        assert tracer.dropped == 0
+        # ...but every event is on disk.
+        assert len(load_jsonl(str(path))) == sink.n_emitted > 0
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_sinks(self, tmp_path):
+        ring = RingSink(100)
+        jsonl = JsonlSink(str(tmp_path / "tee.jsonl"))
+        tee = TeeSink(ring, jsonl)
+        for cycle in range(5):
+            tee.emit(_event(cycle))
+        tee.close()
+        assert len(ring.events) == 5
+        assert load_jsonl(str(tmp_path / "tee.jsonl")) == ring.events
+
+    def test_exposes_first_buffer_and_sums_dropped(self):
+        first = RingSink(2, mode="head")
+        second = RingSink(3, mode="tail")
+        tee = TeeSink(first, second)
+        for cycle in range(10):
+            tee.emit(_event(cycle))
+        assert [e.cycle for e in tee.events] == [0, 1]
+        assert tee.dropped == 8 + 7
+
+
+class TestChromeTraceSink:
+    def _chrome_run(self, program="counter", config="eager-wb"):
+        sink = ChromeTraceSink()
+        _run_traced(program, config, sink=sink)
+        return sink.trace_dict()
+
+    def test_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        _run_traced("counter", "eager-wb", sink=sink)
+        sink.close()
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_per_track_timestamps_are_monotone(self):
+        trace = self._chrome_run()
+        last = {}
+        for entry in trace["traceEvents"]:
+            if entry["ph"] == "M":
+                continue
+            tid = entry["tid"]
+            assert entry["ts"] >= last.get(tid, 0), entry
+            last[tid] = entry["ts"]
+
+    def test_spans_are_balanced_per_track(self):
+        trace = self._chrome_run()
+        depth = {}
+        for entry in trace["traceEvents"]:
+            if entry["ph"] == "B":
+                depth[entry["tid"]] = depth.get(entry["tid"], 0) + 1
+            elif entry["ph"] == "E":
+                depth[entry["tid"]] = depth.get(entry["tid"], 0) - 1
+                assert depth[entry["tid"]] >= 0, (
+                    f"E without matching B on track {entry['tid']}")
+        assert all(n == 0 for n in depth.values()), depth
+
+    def test_rollbacks_show_up_as_retry_spans(self):
+        trace = self._chrome_run()
+        names = [entry.get("name") for entry in trace["traceEvents"]]
+        assert "rollback" in names
+        assert any(name and "(retry)" in name for name in names)
+
+    def test_every_cpu_track_is_named(self):
+        trace = self._chrome_run()
+        named = {entry["tid"] for entry in trace["traceEvents"]
+                 if entry["ph"] == "M" and entry["name"] == "thread_name"}
+        used = {entry["tid"] for entry in trace["traceEvents"]
+                if entry["ph"] != "M"}
+        assert used <= named

@@ -1,0 +1,114 @@
+"""Trace-on-failure and the campaign-wide conservation property.
+
+Every check/chaos/explore case now runs with a cycle profiler and a
+last-K trace ring attached.  A failing case must carry its trace tail —
+including when the campaign fans out across worker processes, where the
+ring has to pickle back — and a passing case must carry none (the rings
+would bloat result lists).  On top sits the Hypothesis property: cycle
+conservation holds across the whole program × config × policy × fault
+space, not just the hand-picked matrix cells.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.explore import replay
+from repro.check.fuzz import (
+    CONFIGS,
+    POLICIES,
+    TRACE_RING,
+    run_case,
+    summarize,
+    sweep,
+)
+from repro.sim.trace import TraceEvent
+
+#: A reliably failing coordinate: the broken spurious-violation variant
+#: loses increments on the counter program (see the oracle self-tests).
+FAILING = dict(program_name="counter", config_name="lazy-wb-assoc",
+               policy_name="det", seed=0, fault="spurious-violation+broken")
+
+
+class TestTraceOnFailure:
+    def test_failing_case_carries_trace_tail(self):
+        result = run_case(**FAILING)
+        assert result.failed
+        assert result.trace, "failing case shipped no trace"
+        assert 0 < len(result.trace) <= TRACE_RING
+        assert all(isinstance(event, TraceEvent)
+                   for event in result.trace)
+        # The tail is the *end* of the run: its last event is near the
+        # machine's final cycle, not the beginning.
+        assert result.trace[-1].cycle >= result.trace[0].cycle
+
+    def test_trace_appears_in_failure_report(self):
+        result = run_case(**FAILING)
+        text = str(result)
+        assert "trace tail" in text
+        assert f"({len(result.trace)} events)" in text
+
+    def test_passing_case_carries_no_trace(self):
+        result = run_case("counter", "lazy-wb-assoc", "det", 1)
+        assert not result.failed
+        assert result.trace == ()
+
+    def test_trace_survives_parallel_campaign_workers(self):
+        """The ring must pickle through ``sweep(..., jobs=2)`` and come
+        back identical to the serial run's."""
+        kwargs = dict(
+            programs=["counter"], configs=["lazy-wb-assoc"],
+            policies=["det"], seeds=1,
+            fault="spurious-violation+broken")
+        serial = sweep(jobs=1, **kwargs)
+        parallel = sweep(jobs=2, **kwargs)
+        _, _, serial_failures = summarize(serial)
+        _, _, parallel_failures = summarize(parallel)
+        assert serial_failures and parallel_failures
+        assert [f.trace for f in parallel_failures] == \
+               [f.trace for f in serial_failures]
+        assert all(f.trace for f in parallel_failures)
+
+    def test_explore_verdicts_carry_trace_on_failure(self):
+        verdict = replay("counter", "lazy-wb-assoc", (),
+                         fault="spurious-violation+broken", seed=0)
+        assert verdict.failed
+        assert verdict.trace
+        assert "trace tail" in str(verdict)
+
+    def test_explore_verdicts_clean_when_passing(self):
+        verdict = replay("litmus-sb", "lazy-wb-assoc", (), seed=1)
+        assert not verdict.failed
+        assert verdict.trace == ()
+
+
+# ----------------------------------------------------------------------
+# The conservation property, across the whole case space.
+# ----------------------------------------------------------------------
+
+#: Faults whose *clean* variants the property may draw (broken variants
+#: fail oracles by design; conservation must hold even then, and the
+#: targeted tests above cover one).
+CLEAN_FAULTS = [None, "spurious-violation", "delayed-violation",
+                "token-loss", "validated-abort", "handler-reentry",
+                "watch-drop", "io-fault", "alloc-pressure"]
+
+PROGRAM_NAMES = ["counter", "requeue", "condsync", "litmus-sb",
+                 "litmus-mp", "iochaos", "bank"]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    program=st.sampled_from(PROGRAM_NAMES),
+    config=st.sampled_from(sorted(CONFIGS)),
+    policy=st.sampled_from(POLICIES),
+    fault=st.sampled_from(CLEAN_FAULTS),
+    seed=st.integers(min_value=0, max_value=6),
+)
+def test_cycle_conservation_property(program, config, policy, fault, seed):
+    """Whatever the schedule, config, policy, or injected fault, every
+    simulated cycle lands in exactly one bucket."""
+    result = run_case(program, config, policy, seed, fault=fault)
+    leaks = [v for v in result.violations
+             if v.oracle == "cycle-conservation"]
+    assert not leaks, "\n".join(str(v) for v in leaks)

@@ -19,13 +19,13 @@ from repro.sim.schedule import make_policy
 from repro.sim.trace import Tracer
 
 
-def _traced_run(program_name, config_name, seed=1, fault=None):
+def _traced_run(program_name, config_name, seed=1, fault=None, sink=None):
     program = make_program(program_name, seed=seed)
     config = build_config(config_name, program)
     machine = Machine(config, policy=make_policy("det", seed=seed))
     injector = (FaultInjector(make_plan(fault, seed), machine)
                 if fault else None)
-    tracer = Tracer(machine)
+    tracer = Tracer(machine, sink=sink)
     runtime = Runtime(machine)
     arena = SharedArena(machine)
     program.setup(machine, runtime, arena)
@@ -88,6 +88,60 @@ def test_fault_events_account_for_every_injection():
     # The trace and the plan agree on who was hit.
     assert [e.cpu for e in faults] == [cpu for _, cpu, _ in
                                        injector.plan.fired]
+
+
+def test_pairing_oracles_hold_on_jsonl_sink(tmp_path):
+    """The streamed JSONL file tells the same causal story as the ring:
+    the pairing oracles hold on the loaded events, which match the
+    in-memory ones record for record."""
+    from repro.obs.sinks import JsonlSink, RingSink, TeeSink, load_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    sink = TeeSink(RingSink(100_000), JsonlSink(str(path)))
+    tracer, _ = _traced_run("counter", "lazy-wb-assoc", sink=sink)
+    sink.close()
+    loaded = load_jsonl(str(path))
+
+    assert [(e.cycle, e.kind, e.cpu, e.detail) for e in loaded] == \
+           [(e.cycle, e.kind, e.cpu, e.detail) for e in tracer.events]
+
+    deliveries = [e for e in loaded if e.kind == "delivery"]
+    assert deliveries, "workload produced no deliveries"
+    posts = {}
+    dispatched = set()
+    for event in loaded:
+        if event.kind == "violation":
+            posts[event.cpu] = posts.get(event.cpu, 0) + 1
+        elif event.kind == "delivery":
+            assert posts.get(event.cpu, 0) > 0, (
+                f"delivery on cpu{event.cpu} at cycle {event.cycle} "
+                f"without a prior violation post")
+        elif event.kind == "dispatch":
+            dispatched.add(event.cpu)
+        elif event.kind == "rollback":
+            assert event.cpu in dispatched, (
+                f"rollback on cpu{event.cpu} at cycle {event.cycle} "
+                f"before any handler dispatch")
+
+
+def test_park_wake_pairing_survives_jsonl_round_trip(tmp_path):
+    from repro.obs.sinks import JsonlSink, load_jsonl
+
+    path = tmp_path / "condsync.jsonl"
+    sink = JsonlSink(str(path))
+    _traced_run("condsync", "lazy-wb-assoc", sink=sink)
+    sink.close()
+    loaded = load_jsonl(str(path))
+    parks = [e for e in loaded if e.kind == "park"]
+    assert parks, "condsync produced no park events"
+    unmatched = {}
+    for event in loaded:
+        if event.kind == "park":
+            unmatched[event.cpu] = unmatched.get(event.cpu, 0) + 1
+        elif event.kind == "wake" and unmatched.get(event.cpu):
+            unmatched[event.cpu] -= 1
+    stuck = {cpu: n for cpu, n in unmatched.items() if n}
+    assert not stuck, f"parks never woken: {stuck}"
 
 
 def test_detach_stops_recording():
