@@ -116,6 +116,7 @@ from repro.check.fuzz import (
 from repro.check.history import HistoryRecorder
 from repro.check.oracles import OracleViolation, check_cycle_conservation
 from repro.check.programs import make_program
+from repro.spec.replay import freeze
 
 #: The explorer's candidate window (cycles) — the fuzzer's default.  A
 #: *finite* window is what guarantees termination under sleep sets: a
@@ -477,6 +478,10 @@ class ScheduleVerdict:
     divergences: tuple = ()
     #: Last-K trace ring of a *failing* schedule (empty on a pass).
     trace: tuple = ()
+    #: The program's frozen final observation (None on an errored run);
+    #: an exhaustive drain's outcome set is gated against the spec's
+    #: admissible set (:func:`repro.spec.outcomes.spec_outcomes`).
+    outcome: object = None
 
     @property
     def failed(self):
@@ -584,6 +589,7 @@ def _make_verdict(program_name, config_name, fault, seed, program,
         violations += check_cycle_conservation(profiler.account())
         if violations:
             trace = tuple(tracer.events)
+    outcome = None if error else freeze(program.outcome(machine))
     return ScheduleVerdict(
         program=program_name, config=config_name, fault=fault, seed=seed,
         deviations=_trace_deviations(policy),
@@ -593,7 +599,8 @@ def _make_verdict(program_name, config_name, fault, seed, program,
         n_steps=len(policy.choices),
         signature=history.signature(),
         divergences=tuple(policy.divergences),
-        trace=trace)
+        trace=trace,
+        outcome=outcome)
 
 
 def _pending_footprints(choices, footprints, deliveries, cpu_ids):

@@ -61,6 +61,7 @@ from repro.check.oracles import (
     check_serializability,
 )
 from repro.check.programs import PROGRAMS, make_program
+from repro.spec.replay import check_conformance
 
 #: Events kept in each case's trace-on-failure ring (the last K; a
 #: failing case ships them home attached to its result).
@@ -172,6 +173,10 @@ def collect_violations(program, machine, history, error, fault):
         # it rather than letting a crash read as a pass.
         violations.append(OracleViolation(
             "run-failure", f"{type(error).__name__}: {error}"))
+    # The strongest oracle last: differential replay against the
+    # abstract reference semantics (repro.spec).
+    violations += check_conformance(program, machine, history, error,
+                                    fault)
     return violations, error
 
 

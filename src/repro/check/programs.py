@@ -65,6 +65,12 @@ class CheckProgram(Workload):
     #: lost-wakeup oracle flags these if the run ends with one asleep.
     waiter_cpus = None
 
+    #: Whether :mod:`repro.spec` models this program.  Programs that
+    #: reach around the runtime into raw ISA state (``requeue``) or the
+    #: daemon scheduler (``condsync``) sit outside the reference
+    #: semantics and are skipped by the conformance oracle.
+    spec_supported = True
+
     def supports(self, config):
         """Whether this program's scenario exists under ``config``."""
         return True
@@ -72,6 +78,16 @@ class CheckProgram(Workload):
     def check_final(self, machine, history):
         """Program-specific oracles; returns a list of violations."""
         return []
+
+    def outcome(self, machine):
+        """The observable final result of a run: the memory cells and
+        per-CPU observations this program's correctness is judged on.
+
+        Two runs (or a run and a spec replay) with equal outcomes are
+        indistinguishable to the program.  ``None`` means the program
+        defines no comparable outcome.
+        """
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +129,9 @@ class CounterProgram(CheckProgram):
             raise ReproError(
                 f"counter: final {final}, expected {expected} "
                 f"(lost increments)")
+
+    def outcome(self, machine):
+        return {"counter": machine.memory.read(self.addr)}
 
 
 class StrongAtomicityProgram(CheckProgram):
@@ -163,6 +182,13 @@ class StrongAtomicityProgram(CheckProgram):
                         f"atomicity: cpu {reader} saw torn pair "
                         f"({first}, {second}) across a one-word commit")
 
+    def outcome(self, machine):
+        return {
+            "flag": machine.memory.read(self.flag),
+            "pairs": [machine.cpus[reader].result
+                      for reader in range(1, self.n_threads)],
+        }
+
 
 class BankProgram(CheckProgram):
     """Random transfers between accounts; the total is conserved."""
@@ -210,6 +236,10 @@ class BankProgram(CheckProgram):
                 f"bank: total {total}, expected {expected} "
                 f"(non-atomic transfer)")
 
+    def outcome(self, machine):
+        return {"balances": [machine.memory.read(addr)
+                             for addr in self.accounts]}
+
 
 class WriteSkewProgram(CheckProgram):
     """The write-skew shape: each transaction reads both cells and
@@ -253,6 +283,10 @@ class WriteSkewProgram(CheckProgram):
                 f"(write skew committed)" if total < 5 else
                 f"writeskew: final sum {total}, expected exactly 5 "
                 f"(no withdrawal succeeded)")
+
+    def outcome(self, machine):
+        return {"cells": [machine.memory.read(addr)
+                          for addr in self.cells]}
 
 
 class NestedOpenProgram(CheckProgram):
@@ -313,6 +347,12 @@ class NestedOpenProgram(CheckProgram):
             "nestedopen-open-commits",
             any(r.kind == "open" for r in history.committed),
             "no open-nested commit was recorded")
+
+    def outcome(self, machine):
+        return {
+            "data": machine.memory.read(self.data),
+            "log": machine.memory.read(self.log),
+        }
 
 
 class CompensationProgram(CheckProgram):
@@ -406,6 +446,13 @@ class CompensationProgram(CheckProgram):
             machine.memory.read(self.pos),
             machine.memory.read(self.cnt))
 
+    def outcome(self, machine):
+        return {
+            "pos": machine.memory.read(self.pos),
+            "cnt": machine.memory.read(self.cnt),
+            "data": machine.memory.read(self.data),
+        }
+
 
 class RequeueWakeupProgram(CheckProgram):
     """A wakeup that rides on the §6b.2 violation-record re-queue rule.
@@ -436,6 +483,9 @@ class RequeueWakeupProgram(CheckProgram):
 
     name = "requeue"
     waiter_cpus = frozenset({0})
+    # Reads xvcurrent through t.isa — hardware state below the level the
+    # reference semantics model.
+    spec_supported = False
 
     def __init__(self, n_threads=4, seed=1, scale=1.0):
         super().__init__(4, seed=seed, scale=scale)
@@ -521,6 +571,9 @@ class CondSyncProgram(CheckProgram):
     name = "condsync"
     max_cycles = 1_200_000
     waiter_cpus = frozenset({1, 2})
+    # The watch/retry scheduler daemon never commits its transaction;
+    # the spec models only committing transactions.
+    spec_supported = False
 
     def __init__(self, n_threads=2, seed=1, scale=0.5):
         self._inner = CondSyncWorkload(n_pairs=1, seed=seed, scale=scale)
@@ -637,6 +690,14 @@ class IoChaosProgram(CheckProgram):
             f"heap broke off {brk - self.heap.base} (leak or corruption)")
         return violations
 
+    def outcome(self, machine):
+        return {
+            "cnt": machine.memory.read(self.cnt),
+            "log": list(self.log.data),
+            "brk": machine.memory.read(self.heap.brk_addr),
+            "free_bytes": self._free_bytes(machine),
+        }
+
 
 #: Fuzzable programs by name.
 # ----------------------------------------------------------------------
@@ -695,6 +756,13 @@ class LitmusStoreBufferProgram(LitmusProgram):
             f"both transactions read 0 (reads={self.reads}): no commit "
             "order can explain it")
 
+    def outcome(self, machine):
+        return {
+            "reads": list(self.reads),
+            "mem": [machine.memory.read(self.x),
+                    machine.memory.read(self.y)],
+        }
+
 
 class LitmusPublicationProgram(LitmusProgram):
     """Message passing / publication: ``t0 {data=42; flag=1}``,
@@ -737,6 +805,13 @@ class LitmusPublicationProgram(LitmusProgram):
             "litmus-mp", not (flag == 1 and data != 42),
             f"reader saw flag=1 but data={data}: publication tore")
 
+    def outcome(self, machine):
+        return {
+            "reads": list(self.reads),
+            "mem": [machine.memory.read(self.data),
+                    machine.memory.read(self.flag)],
+        }
+
 
 class LitmusIncrementProgram(LitmusProgram):
     """The minimal contended increment: two CPUs, one ``+1`` each.
@@ -770,9 +845,152 @@ class LitmusIncrementProgram(LitmusProgram):
             "litmus-inc", final == 2,
             f"final counter {final}, expected 2 (lost increment)")
 
+    def outcome(self, machine):
+        return {"counter": machine.memory.read(self.addr)}
+
+
+class LitmusLoadBufferProgram(LitmusProgram):
+    """Load buffering: ``t0 {r0=y; x=1}``, ``t1 {r1=x; y=1}``.
+
+    With atomic transactions the admissible set is stronger than any
+    hardware LB rule: whichever transaction serializes second must read
+    the first one's store, so exactly one of the reads is 1 — both
+    ``(0, 0)`` (reads reordered past writes) and the classic ``(1, 1)``
+    (causality cycle) are forbidden.
+    """
+
+    name = "litmus-lb"
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.x = arena.alloc_word(0, isolate=True)
+        self.y = arena.alloc_word(0, isolate=True)
+        self.reads = [None, None]
+        runtime.spawn(self._worker, 0, self.x, self.y, cpu_id=0)
+        runtime.spawn(self._worker, 1, self.y, self.x, cpu_id=1)
+
+    def _worker(self, t, me, mine, other):
+        def body(t):
+            self.reads[me] = yield t.load(other)
+            yield t.store(mine, 1)
+
+        yield from self._rt.atomic(t, body)
+
+    def check_final(self, machine, history):
+        return check_invariant(
+            "litmus-lb", sorted(self.reads) == [0, 1],
+            f"reads={self.reads}: transactions must serialize, so "
+            "exactly one read observes the other's store")
+
+    def outcome(self, machine):
+        return {
+            "reads": list(self.reads),
+            "mem": [machine.memory.read(self.x),
+                    machine.memory.read(self.y)],
+        }
+
+
+class LitmusCoRRProgram(LitmusProgram):
+    """Coherent read-read: a writer transaction ``{x=1}`` against a
+    reader running *two successive* transactions ``{r0=x}``, ``{r1=x}``.
+
+    Serializability over three transactions forbids exactly one outcome:
+    ``(1, 0)`` — once a committed read observes the store, a later
+    transaction on the same CPU cannot un-observe it.
+    """
+
+    name = "litmus-corr"
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.x = arena.alloc_word(0, isolate=True)
+        self.reads = [None, None]
+
+        def writer(t):
+            def body(t):
+                yield t.store(self.x, 1)
+
+            yield from runtime.atomic(t, body)
+
+        def reader(t):
+            for slot in range(2):
+                def body(t, slot=slot):
+                    self.reads[slot] = yield t.load(self.x)
+
+                yield from runtime.atomic(t, body)
+                yield t.alu(3)
+
+        runtime.spawn(writer, cpu_id=0)
+        runtime.spawn(reader, cpu_id=1)
+
+    def check_final(self, machine, history):
+        return check_invariant(
+            "litmus-corr", self.reads != [1, 0],
+            f"reads={self.reads}: a later read un-observed a committed "
+            "store (coherence violation)")
+
+    def outcome(self, machine):
+        return {
+            "reads": list(self.reads),
+            "mem": [machine.memory.read(self.x)],
+        }
+
+
+class LitmusTokenHandoffProgram(LitmusProgram):
+    """Park/wake handoff: ``t0 {x=1}; wake(1)`` against
+    ``t1: yieldcpu; {r=x}``.
+
+    The wake token must close the race in both directions: if t1 parks
+    first the wake unparks it, if the wake lands first the token is
+    banked and t1's ``yieldcpu`` is a no-op.  Either way t1's
+    transaction runs strictly after t0's commit, so the *only*
+    admissible outcome is ``r == 1`` — the spec-enumerated set for this
+    program is a singleton, which makes it the sharpest drain gate in
+    the family.
+    """
+
+    name = "litmus-token-handoff"
+    waiter_cpus = frozenset({1})
+
+    def setup(self, machine, runtime, arena):
+        self._rt = runtime
+        self.x = arena.alloc_word(0, isolate=True)
+        self.reads = [None]
+
+        def publisher(t):
+            def body(t):
+                yield t.store(self.x, 1)
+
+            yield from runtime.atomic(t, body)
+            yield O.Wake(1)
+
+        def consumer(t):
+            yield O.YieldCpu()  # no-op if the wake token is banked
+
+            def body(t):
+                self.reads[0] = yield t.load(self.x)
+
+            yield from runtime.atomic(t, body)
+
+        runtime.spawn(publisher, cpu_id=0)
+        runtime.spawn(consumer, cpu_id=1)
+
+    def check_final(self, machine, history):
+        return check_invariant(
+            "litmus-token-handoff", self.reads == [1],
+            f"consumer read {self.reads[0]} after the handoff wake; "
+            "only 1 is admissible")
+
+    def outcome(self, machine):
+        return {
+            "reads": list(self.reads),
+            "mem": [machine.memory.read(self.x)],
+        }
+
 
 #: The litmus family, in canonical order (the explore CLI's default).
-LITMUS_PROGRAMS = ("litmus-sb", "litmus-mp", "litmus-inc")
+LITMUS_PROGRAMS = ("litmus-sb", "litmus-mp", "litmus-inc", "litmus-lb",
+                   "litmus-corr", "litmus-token-handoff")
 
 
 PROGRAMS = {
@@ -790,6 +1008,9 @@ PROGRAMS = {
         LitmusStoreBufferProgram,
         LitmusPublicationProgram,
         LitmusIncrementProgram,
+        LitmusLoadBufferProgram,
+        LitmusCoRRProgram,
+        LitmusTokenHandoffProgram,
     )
 }
 

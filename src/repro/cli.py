@@ -435,6 +435,53 @@ def cmd_explore(args):
     return 1 if failures else 0
 
 
+def cmd_conform(args):
+    from repro.check.fuzz import CONFIGS
+    from repro.check.programs import PROGRAMS
+    from repro.spec.conform import conform_sweep, summarize_conform
+
+    if args.litmus_only and args.skip_litmus:
+        raise SystemExit(
+            "--litmus-only and --skip-litmus exclude each other")
+
+    def pick(raw, universe, what):
+        if not raw:
+            return None
+        names = raw.split(",")
+        unknown = [n for n in names if n not in universe]
+        if unknown:
+            raise SystemExit(
+                f"unknown {what} {unknown}; choose from {sorted(universe)}")
+        return names
+
+    def progress(result):
+        if args.verbose:
+            status = ("skip" if result.get("skipped")
+                      else "ok" if result["ok"] else "FAIL")
+            print(f"conform: {result['name']}: {status}")
+
+    results = conform_sweep(
+        programs=pick(args.programs, PROGRAMS, "program"),
+        configs=pick(args.configs, CONFIGS, "config"),
+        seeds=args.seeds,
+        litmus=not args.skip_litmus,
+        cells=not args.litmus_only,
+        jobs=args.jobs,
+        timeout=args.timeout or None,
+        report=progress,
+    )
+    n_run, n_skipped, failures = summarize_conform(results)
+    n_drains = sum(1 for r in results if r.get("kind") == "drain")
+    print(f"conform: {n_run} cells run ({n_drains} litmus drains), "
+          f"{n_skipped} skipped, {len(failures)} failed")
+    for failure in failures:
+        print()
+        print(f"conform FAILURE {failure['name']}:")
+        for detail in failure["violations"]:
+            print(f"  {detail}")
+    return 1 if failures else 0
+
+
 def cmd_all(args):
     status = 0
     for step in (cmd_isa, cmd_overheads, cmd_figure5, cmd_io, cmd_condsync):
@@ -630,6 +677,29 @@ def build_parser():
     p.add_argument("--verbose", action="store_true",
                    help="print every schedule verdict")
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "conform",
+        help="differential conformance: simulator outcomes vs the "
+             "abstract reference semantics (repro.spec)")
+    p.add_argument("--programs", default="",
+                   help="comma-separated check programs (default: all)")
+    p.add_argument("--configs", default="",
+                   help="comma-separated configs for the replay cells "
+                        "(default: the functional design-space matrix)")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="seeds per (program, config) replay cell")
+    p.add_argument("--litmus-only", action="store_true",
+                   help="run only the exhaustive litmus drains")
+    p.add_argument("--skip-litmus", action="store_true",
+                   help="run only the replay cells")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (deterministic at any value)")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-cell timeout in seconds")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every cell verdict")
+    p.set_defaults(fn=cmd_conform)
 
     p = sub.add_parser("all", help="the whole evaluation")
     common(p)

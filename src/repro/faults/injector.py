@@ -202,7 +202,15 @@ class FaultInjector:
             victim = machine.cpus[violation.victim]
             # Only a runnable victim can tolerate a hold-back; WAITING
             # and DONE victims need the post now (delivery is the wake).
-            if victim.state == RUNNABLE and self.plan.should_fire():
+            # A victim that already validated also needs it now: the
+            # xvalidate barrier below only covers violations detected
+            # *before* validate entry, so a hold-back landing in the
+            # validate->commit window would straddle the commit — the
+            # rule-break reserved for the +broken variant.
+            delayable = victim.state == RUNNABLE and (
+                self.plan.broken
+                or not htm.states[violation.victim].is_validated())
+            if delayable and self.plan.should_fire():
                 # The +broken hold-back is long enough to straddle the
                 # victim's whole commit — only the (omitted) xvalidate
                 # barrier could save it then.

@@ -1,0 +1,656 @@
+"""The abstract spec machine: instantaneous transactions on flat memory.
+
+The model deliberately reuses the *program-facing* surfaces of the real
+stack — the :mod:`repro.sim.ops` vocabulary, the runtime's
+``atomic``/``atomic_open``/``register_*`` generator protocol, and the
+``machine.memory``/``machine.cpus`` shape that :class:`SharedArena`,
+:class:`SharedHeap`, :class:`TxAlloc` and :class:`TxIo` program against —
+so the *same* check/litmus program objects run unmodified on either
+machine.  Everything below that surface is different: there is exactly
+one memory (a plain word map), a transaction's writes live in a Python
+dict until its single publication instant, and scheduling freedom exists
+only at *event* boundaries (publishing commits and depth-0 accesses,
+the paper's strong-atomicity singletons).
+
+The executor is a coroutine driver.  It advances one thread at a time
+and pauses the thread *just before* every event takes effect, which is
+what lets the differential replayer (:mod:`repro.spec.replay`) interleave
+threads in the simulator's commit order and lets the enumerator
+(:mod:`repro.spec.outcomes`) branch over every admissible order.
+
+Mutation hooks
+--------------
+``mutated(kind)`` enables one of :data:`MUTATION_KINDS` — deliberate
+semantic bugs *in the spec* used by the self-tests to prove the
+conformance differ has teeth.  They are test-only: nothing in the
+library enables them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+from repro.common.addr import PRIVATE_BASE, line_of
+from repro.common.errors import ReproError
+from repro.common.params import LINE, WORD_SIZE
+from repro.memsys.memory import MemoryImage
+from repro.runtime.core import RESUME
+from repro.sim import ops as O
+
+#: Thread states (mirrors :mod:`repro.isa.context`).
+RUNNABLE = "runnable"
+WAITING = "waiting"
+DONE = "done"
+
+#: The deliberate spec bugs the mutation self-test seeds.
+MUTATION_KINDS = frozenset({
+    "dropped-compensation",   # skip violation handlers on an abort
+    "torn-commit",            # outer publication drops one buffered write
+    "stale-read",             # in-tx loads ignore the own-write buffer
+    "skipped-nested-rollback",  # closed-nested writes escape the parent
+})
+
+#: Currently-armed mutations (test-only; see :func:`mutated`).
+ACTIVE_MUTATIONS = set()
+
+
+@contextlib.contextmanager
+def mutated(kind):
+    """Arm one deliberate spec bug for the duration of the block."""
+    if kind not in MUTATION_KINDS:
+        raise ValueError(f"unknown spec mutation {kind!r}; "
+                         f"choose from {sorted(MUTATION_KINDS)}")
+    ACTIVE_MUTATIONS.add(kind)
+    try:
+        yield
+    finally:
+        ACTIVE_MUTATIONS.discard(kind)
+
+
+class SpecError(ReproError):
+    """The spec model itself was driven outside its domain."""
+
+
+class SpecUnsupported(SpecError):
+    """The program used machinery the spec does not model (raw ISA ops,
+    the daemon scheduler, early release semantics)."""
+
+
+class SpecStuck(SpecError):
+    """A demanded thread is parked and no other thread can unblock it."""
+
+
+class _SpecRollback(Exception):
+    """Thrown into a thread to abort its outer transaction attempt.
+
+    Mirrors a hardware violation targeting ``target``'s nesting level:
+    inner frames die as it propagates (open frames restore their
+    immediate-store undo right away, like the dispatcher's pre-kill of
+    active open levels; closed frames defer theirs to the final
+    rollback, like ``xrwsetclear`` after the handler walk), and their
+    violation-handler registrations ride along so the walk at the target
+    sees the whole stack.
+    """
+
+    def __init__(self, target):
+        self.target = target
+        self.vh = []    # handler entries collected from killed frames
+        self.undo = []  # deferred undo entries from killed closed frames
+
+
+@dataclasses.dataclass(frozen=True)
+class _PublishMark(O.Op):
+    """Internal op: the pause point just before a publishing commit.
+
+    ``kind`` matches the HTM's :class:`CommitResult` labels ("outer" for
+    a publishing closed level, "open" for any open level).
+    """
+
+    kind: str
+
+
+class _Frame:
+    """One nesting level of a spec transaction."""
+
+    __slots__ = ("open", "buffer", "undo", "ch", "vh", "ah")
+
+    def __init__(self, open_):
+        self.open = open_
+        self.buffer = {}  # addr -> value, program order preserved
+        self.undo = []    # (addr, previous value) per imst, program order
+        self.ch = []      # commit handlers: (fn, args)
+        self.vh = []      # violation handlers
+        self.ah = []      # abort handlers
+
+
+class _NullStats:
+    """Stat sink with the surface of ``machine.stats`` but no storage."""
+
+    def scope(self, _name):
+        return self
+
+    def counter(self, _name, _initial=0):
+        return 0
+
+    def add(self, *_args, **_kwargs):
+        pass
+
+    def set(self, *_args, **_kwargs):
+        pass
+
+
+class SpecCpu:
+    """The spec twin of :class:`repro.isa.context.Cpu`'s program surface."""
+
+    def __init__(self, machine, cpu_id):
+        self.machine = machine
+        self.cpu_id = cpu_id
+        self.daemon = False
+        self.result = None
+        self.rt = None
+        self.stats = _NullStats()
+        self.thread = None  # SpecThread once spawned
+
+    # -- op constructors (identical to the real Cpu's) ---------------------
+
+    def load(self, addr):
+        return O.Load(addr)
+
+    def store(self, addr, value):
+        return O.Store(addr, value)
+
+    def imld(self, addr):
+        return O.ImLoad(addr)
+
+    def imst(self, addr, value):
+        return O.ImStore(addr, value)
+
+    def imstid(self, addr, value):
+        return O.ImStoreId(addr, value)
+
+    def release(self, addr):
+        return O.Release(addr)
+
+    def alu(self, cycles=1):
+        return O.Alu(cycles)
+
+    def depth(self):
+        return len(self.thread.frames) if self.thread is not None else 0
+
+
+class SpecMachine:
+    """Flat sequential memory plus per-CPU observation slots.
+
+    Quacks enough like :class:`repro.sim.engine.Machine` for the
+    build-time allocators and the §5 libraries: ``config``, ``memory``
+    (a plain :class:`MemoryImage`), ``cpus``, and a permanently-``None``
+    ``fault_hooks`` (the spec is the fault-free reference).
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.memory = MemoryImage()
+        self.cpus = [SpecCpu(self, i) for i in range(config.n_cpus)]
+        self.fault_hooks = None
+        self.stats = _NullStats()
+
+    def unit_of(self, addr):
+        """The conflict-tracking unit of ``addr`` under this config."""
+        if self.config.granularity == LINE:
+            return line_of(addr, self.config.line_size)
+        return addr
+
+
+class _SpecRtState:
+    """Per-thread runtime state: just the private scratch allocator."""
+
+    #: Private scratch span per CPU; generous, never reclaimed.
+    SPAN = 1 << 20
+
+    def __init__(self, machine, cpu_id):
+        self.machine = machine
+        self._next = PRIVATE_BASE + (cpu_id + 1) * self.SPAN
+
+    def alloc_private(self, n_words, line_align=False):
+        if line_align:
+            self._next += (-self._next) % self.machine.config.line_size
+        addr = self._next
+        self._next += n_words * WORD_SIZE
+        return addr
+
+
+class SpecThread:
+    """Driver-side state of one spawned spec program."""
+
+    def __init__(self, t, gen):
+        self.t = t
+        self.gen = gen
+        self.status = RUNNABLE
+        self.wake_tokens = 0
+        self.frames = []
+        #: The op the generator is paused on (not yet executed).
+        self.pending_op = None
+        #: Value to send on the next resume.
+        self.send_value = None
+        #: Exception to throw on the next resume (abort injection).
+        self.throw_exc = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecEvent:
+    """One observable serialization point of a spec thread.
+
+    ``kind`` is "outer"/"open" (publishing commits) or "nontx" (a
+    depth-0 access — the strong-atomicity singleton).  ``writes`` and
+    ``reads`` are frozensets of tracking units, directly comparable to
+    a :class:`repro.check.history.TxRecord`'s sets.
+    """
+
+    kind: str
+    writes: frozenset
+    reads: frozenset = frozenset()
+
+    def matches(self, other):
+        if self.kind != other.kind or self.writes != other.writes:
+            return False
+        # Transactional read sets are timing artifacts (aborted sibling
+        # reads, watch drops); only singletons pin their read unit.
+        return self.kind != "nontx" or self.reads == other.reads
+
+    def __str__(self):
+        def fmt(units):
+            return "{" + ",".join(hex(u) for u in sorted(units)) + "}"
+
+        if self.kind == "nontx":
+            op = f"st{fmt(self.writes)}" if self.writes else f"ld{fmt(self.reads)}"
+            return f"nontx {op}"
+        return f"{self.kind} w={fmt(self.writes)}"
+
+
+class SpecRuntime:
+    """The spec twin of :class:`repro.runtime.core.Runtime`.
+
+    The generator protocol is identical — programs ``yield from
+    rt.atomic(t, body)`` — but there is no ISA underneath: nesting is a
+    frame stack, commit is one dict update, and the handler stacks are
+    Python lists with the same inherit-on-closed-commit /
+    reset-on-publish lifecycle as the real TCB stacks.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.threads = {}  # cpu_id -> SpecThread
+        self._next_cpu = 0
+
+    # -- thread creation ----------------------------------------------------
+
+    def spawn(self, program, *args, cpu_id=None, daemon=False):
+        if cpu_id is None:
+            while self._next_cpu in self.threads:
+                self._next_cpu += 1
+            cpu_id = self._next_cpu
+        if cpu_id in self.threads:
+            raise SpecError(f"cpu {cpu_id} spawned twice")
+        t = self.machine.cpus[cpu_id]
+        t.daemon = daemon
+        t.rt = _SpecRtState(self.machine, cpu_id)
+        thread = SpecThread(t, self._thread_main(t, program, args))
+        t.thread = thread
+        self.threads[cpu_id] = thread
+        return t
+
+    def _thread_main(self, t, program, args):
+        t.result = yield from program(t, *args)
+        return t.result
+
+    # -- transactions -------------------------------------------------------
+
+    def atomic(self, t, body, *args, open_=False, abort_policy=None):
+        """Run ``body`` as one (possibly nested) transaction.
+
+        Instantaneous semantics: buffered writes publish in a single
+        event at commit.  A :class:`_SpecRollback` thrown at any pause
+        point inside the attempt unwinds to the targeted frame, runs its
+        accumulated violation handlers newest-first, undoes immediate
+        stores, and restarts the attempt — the spec-level mirror of the
+        violation dispatcher.
+        """
+        thread = t.thread
+        while True:
+            frame = _Frame(open_)
+            thread.frames.append(frame)
+            try:
+                result = yield from body(t, *args)
+                yield from self._commit(t, thread, frame)
+                return result
+            except _SpecRollback as rollback:
+                if rollback.target is not frame:
+                    self._collect_killed(thread, frame, rollback)
+                    raise
+                yield from self._rollback_attempt(t, thread, frame, rollback)
+
+    def atomic_open(self, t, body, *args):
+        """Open-nested transaction: publishes at its own commit and its
+        effects survive a later abort of the parent."""
+        return self.atomic(t, body, *args, open_=True)
+
+    def _commit(self, t, thread, frame):
+        publishes = frame.open or len(thread.frames) == 1
+        if publishes:
+            # Commit handlers run before the publication instant and may
+            # register more (the walk re-reads the top, like the TCB walk).
+            index = 0
+            while index < len(frame.ch):
+                fn, args = frame.ch[index]
+                index += 1
+                yield from fn(t, *args)
+            kind = "open" if frame.open else "outer"
+            yield _PublishMark(kind)
+            # The executor applied the buffer at the mark; a publishing
+            # commit makes immediate stores permanent and drops every
+            # handler registered inside the level (Runtime.reset_to).
+            thread.frames.pop()
+            return
+        # Closed commit: the parent absorbs everything (writes, undo,
+        # handler registrations) and no event is visible.
+        thread.frames.pop()
+        parent = thread.frames[-1]
+        if "skipped-nested-rollback" in ACTIVE_MUTATIONS:
+            for addr, value in frame.buffer.items():
+                self.machine.memory.write(addr, value)
+        else:
+            parent.buffer.update(frame.buffer)
+        parent.undo.extend(frame.undo)
+        parent.ch.extend(frame.ch)
+        parent.vh.extend(frame.vh)
+        parent.ah.extend(frame.ah)
+
+    def _collect_killed(self, thread, frame, rollback):
+        """An inner frame dies as a rollback passes through it."""
+        assert thread.frames[-1] is frame
+        thread.frames.pop()
+        if frame.open:
+            # Active open levels are pre-killed before the handler walk
+            # (the dispatcher's xrwsetclear of kill+1): their immediate
+            # stores revert now, so compensation handlers see the
+            # disarmed state.
+            for addr, old in reversed(frame.undo):
+                self.machine.memory.write(addr, old)
+        else:
+            # Closed levels roll back after the walk, with the target.
+            rollback.undo = frame.undo + rollback.undo
+        rollback.vh = frame.vh + rollback.vh
+
+    def _rollback_attempt(self, t, thread, frame, rollback):
+        assert thread.frames[-1] is frame
+        if "dropped-compensation" not in ACTIVE_MUTATIONS:
+            for fn, args in reversed(frame.vh + rollback.vh):
+                outcome = yield from fn(t, *args)
+                if outcome == RESUME:
+                    raise SpecUnsupported(
+                        "violation handler requested RESUME; the spec "
+                        "cannot resume an inferred abort")
+        for addr, old in reversed(frame.undo + rollback.undo):
+            self.machine.memory.write(addr, old)
+        thread.frames.pop()
+
+    # -- handler registration (generators, like the real runtime) -----------
+
+    def register_commit_handler(self, t, fn, *args):
+        return self._register(t, "ch", fn, args)
+
+    def register_violation_handler(self, t, fn, *args):
+        return self._register(t, "vh", fn, args)
+
+    def register_abort_handler(self, t, fn, *args):
+        return self._register(t, "ah", fn, args)
+
+    def _register(self, t, stack, fn, args):
+        frames = t.thread.frames
+        if not frames:
+            raise SpecError(f"{stack} handler registered outside a "
+                            "transaction")
+        getattr(frames[-1], stack).append((fn, args))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class SpecExecutor:
+    """Advances spec threads op-by-op, pausing at events.
+
+    ``advance`` interprets ops until the thread reaches an event (a
+    publication or depth-0 access, left *pending* — not yet applied),
+    parks, or finishes.  ``pure=True`` restricts execution to
+    memory-free ops (alu, fences, wakes, token-consuming yields): the
+    run-ahead mode used to let a committed thread deliver its wakes
+    without perturbing memory order.
+    """
+
+    def __init__(self, machine, runtime):
+        self.machine = machine
+        self.runtime = runtime
+
+    @property
+    def threads(self):
+        return self.runtime.threads
+
+    # -- wake/park ----------------------------------------------------------
+
+    def wake(self, cpu_id):
+        thread = self.threads.get(cpu_id)
+        if thread is None:
+            return
+        if thread.status == WAITING:
+            thread.status = RUNNABLE
+            thread.pending_op = None  # the pending YieldCpu completes
+            thread.send_value = None
+        else:
+            thread.wake_tokens += 1
+
+    # -- the interpreter ----------------------------------------------------
+
+    def advance(self, thread, pure=False):
+        """Run ``thread`` until an event, park, completion, or (pure
+        mode) a blocked op.  Returns "event" | "parked" | "done" |
+        "blocked" | "progress" ("blocked" after >=1 op executed)."""
+        progressed = False
+        while True:
+            if thread.status == DONE:
+                return "done"
+            if thread.status == WAITING:
+                return "parked"
+            if thread.pending_op is None:
+                try:
+                    if thread.throw_exc is not None:
+                        exc, thread.throw_exc = thread.throw_exc, None
+                        op = thread.gen.throw(exc)
+                    else:
+                        op = thread.gen.send(thread.send_value)
+                except StopIteration:
+                    thread.status = DONE
+                    return "done"
+                except _SpecRollback:
+                    raise SpecError(
+                        "rollback escaped the outermost transaction")
+                thread.send_value = None
+                thread.pending_op = op
+            disposition, value = self._execute(thread, thread.pending_op,
+                                               pure)
+            if disposition == "ok":
+                thread.pending_op = None
+                thread.send_value = value
+                progressed = True
+                continue
+            if disposition == "blocked":
+                return "progress" if progressed else "blocked"
+            return disposition  # "event" | "parked"
+
+    def _execute(self, thread, op, pure):
+        """Execute one op (or refuse).  Returns (disposition, value)."""
+        memory = self.machine.memory
+        if isinstance(op, _PublishMark):
+            return ("blocked" if pure else "event"), None
+        if isinstance(op, (O.Alu, O.Fence)):
+            return "ok", None
+        if isinstance(op, O.Wake):
+            self.wake(op.cpu_id)
+            return "ok", None
+        if isinstance(op, O.YieldCpu):
+            if thread.wake_tokens > 0:
+                thread.wake_tokens -= 1
+                return "ok", None
+            thread.status = WAITING
+            return "parked", None
+        if isinstance(op, O.Load):
+            if pure:
+                return "blocked", None
+            if thread.frames:
+                return "ok", self._tx_load(thread, op.addr)
+            return "event", None  # strong-atomicity read singleton
+        if isinstance(op, O.Store):
+            if pure:
+                return "blocked", None
+            if thread.frames:
+                thread.frames[-1].buffer[op.addr] = op.value
+                return "ok", None
+            return "event", None  # strong-atomicity write singleton
+        if isinstance(op, O.ImLoad):
+            if pure:
+                return "blocked", None
+            return "ok", memory.read(op.addr)
+        if isinstance(op, O.ImStore):
+            if pure:
+                return "blocked", None
+            if thread.frames:
+                thread.frames[-1].undo.append((op.addr, memory.read(op.addr)))
+            memory.write(op.addr, op.value)
+            return "ok", None
+        if isinstance(op, O.ImStoreId):
+            if pure:
+                return "blocked", None
+            memory.write(op.addr, op.value)
+            return "ok", None
+        if isinstance(op, O.Release):
+            # The spec tracks no read sets; early release is a no-op.
+            return "ok", None
+        raise SpecUnsupported(f"op {op!r} has no spec semantics")
+
+    def _tx_load(self, thread, addr):
+        if "stale-read" not in ACTIVE_MUTATIONS:
+            for frame in reversed(thread.frames):
+                if addr in frame.buffer:
+                    return frame.buffer[addr]
+        return self.machine.memory.read(addr)
+
+    # -- events -------------------------------------------------------------
+
+    def pending_event(self, thread):
+        """Describe the event ``thread`` is paused at."""
+        op = thread.pending_op
+        unit = self.machine.unit_of
+        if isinstance(op, _PublishMark):
+            units = frozenset(unit(a) for a in thread.frames[-1].buffer)
+            return SpecEvent(op.kind, units)
+        if isinstance(op, O.Store):
+            return SpecEvent("nontx", frozenset({unit(op.addr)}))
+        if isinstance(op, O.Load):
+            return SpecEvent("nontx", frozenset(), frozenset({unit(op.addr)}))
+        raise SpecError(f"no pending event (pending op {op!r})")
+
+    def accept(self, thread):
+        """Apply the pending event's effect; the thread stays paused
+        just after it (resume on the next ``advance``)."""
+        op = thread.pending_op
+        memory = self.machine.memory
+        if isinstance(op, _PublishMark):
+            items = list(thread.frames[-1].buffer.items())
+            if (op.kind == "outer" and "torn-commit" in ACTIVE_MUTATIONS
+                    and len(items) >= 2):
+                items = items[:-1]
+            for addr, value in items:
+                memory.write(addr, value)
+            thread.pending_op = None
+            thread.send_value = None
+        elif isinstance(op, O.Store):
+            memory.write(op.addr, op.value)
+            thread.pending_op = None
+            thread.send_value = None
+        elif isinstance(op, O.Load):
+            thread.pending_op = None
+            thread.send_value = memory.read(op.addr)
+        else:
+            raise SpecError(f"no pending event to accept ({op!r})")
+
+    def inject_abort(self, thread):
+        """Abort the outer transaction attempt the thread is inside.
+
+        Models a hardware violation delivered against the outermost
+        level; used by the replayer when the simulator's history shows
+        an aborted attempt the fault-free spec path would not take.
+        """
+        if not thread.frames:
+            raise SpecError("inject_abort outside a transaction")
+        thread.pending_op = None
+        thread.send_value = None
+        thread.throw_exc = _SpecRollback(thread.frames[0])
+
+    # -- demand-driven driving ---------------------------------------------
+
+    def demand(self, thread):
+        """Advance ``thread`` to its next event.  Returns the
+        :class:`SpecEvent` (pending, not applied) or None if the thread
+        completed.  Raises :class:`SpecStuck` on an unbreakable park."""
+        while True:
+            result = self.advance(thread, pure=False)
+            if result == "event":
+                return self.pending_event(thread)
+            if result == "done":
+                return None
+            if not self.unblock(thread):
+                raise SpecStuck(
+                    f"cpu{thread.t.cpu_id} is parked and no runnable "
+                    "thread can wake it")
+
+    def unblock(self, thread):
+        """Pure-run other threads until ``thread`` unparks (True) or no
+        further pure progress is possible (False)."""
+        while thread.status == WAITING:
+            progressed = False
+            for other in self.threads.values():
+                if other is thread or other.status != RUNNABLE:
+                    continue
+                result = self.advance(other, pure=True)
+                if result in ("progress", "parked", "done"):
+                    progressed = True
+                if thread.status == RUNNABLE:
+                    return True
+            if not progressed:
+                return False
+        return True
+
+    def step(self, thread):
+        """Enumeration step: advance to the next event and apply it.
+        Returns "event", "done", or "parked"."""
+        result = self.advance(thread, pure=False)
+        if result == "event":
+            self.accept(thread)
+            return "event"
+        return result
+
+
+def build_spec_execution(program, config):
+    """Set a program object up on a fresh spec machine.
+
+    Returns ``(machine, executor)``; the program's threads are spawned
+    and ready to drive.  The caller owns the program instance (its
+    host-side observation state — ``reads`` lists, SimFile contents —
+    ends up there).
+    """
+    from repro.mem.layout import SharedArena
+
+    machine = SpecMachine(config)
+    runtime = SpecRuntime(machine)
+    arena = SharedArena(machine)
+    program.setup(machine, runtime, arena)
+    return machine, SpecExecutor(machine, runtime)

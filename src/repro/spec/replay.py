@@ -1,0 +1,202 @@
+"""Guided differential replay: simulator history vs. spec semantics.
+
+The serializability oracle proves every committed history is equivalent
+to *some* serial order — and because violations are delivered eagerly
+enough that no transaction commits past a conflicting publication, the
+commit sequence itself is a valid serial witness.  The replayer exploits
+that: it re-executes the *same program* on the spec machine, advancing
+each thread to its next event exactly when the simulator's history says
+that thread committed, and checks that the spec thread produces the same
+event (same commit kind, same written units).  Final memory and per-CPU
+observations are then compared program-defined outcome against outcome.
+
+Aborted attempts need one inference step.  The committed history keeps
+open-nested commits of attempts whose *parent* later aborted (that is
+the point of open nesting), so the spec thread — which never aborts on
+its own — would run past them.  When the next spec event disagrees with
+the guided record, the replayer *injects* an abort (bounded by the
+number of aborted frames the simulator recorded for that CPU), which
+runs the spec-level compensation walk and restarts the attempt — exactly
+the §6b.6 recovery the simulator performed.  If no injection budget
+remains and the events still disagree, the disagreement is real and is
+reported as a ``conformance`` violation: the strongest signal the
+checking stack has, because it means the simulator computed an answer
+no atomic, instantaneous execution could produce.
+
+Soundness boundary: the replay assumes the history is *complete* (the
+run finished without error) and *fault-free at the semantic level* —
+the recoverable chaos kinds must be absorbed by the runtime and
+therefore must still conform; the ``+broken`` variants corrupt committed
+state and are exactly what this oracle exists to catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.spec.model import (
+    DONE,
+    SpecError,
+    SpecEvent,
+    SpecStuck,
+    SpecUnsupported,
+    build_spec_execution,
+)
+
+#: Extra abort injections allowed beyond the simulator's aborted-frame
+#: count (one attempt can roll back through several frames).
+ABORT_MARGIN = 2
+
+
+def freeze(value):
+    """Canonicalize an outcome value into a hashable, comparable form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze(v) for v in value))
+    return value
+
+
+def record_event(record, machine):
+    """The :class:`SpecEvent` a simulator TxRecord corresponds to."""
+    if record.kind == "nontx":
+        return SpecEvent("nontx", frozenset(record.writes),
+                         frozenset(record.reads))
+    return SpecEvent(record.kind, frozenset(record.writes))
+
+
+@dataclasses.dataclass
+class ConformanceReport:
+    """Result of one guided replay."""
+
+    program: str
+    divergences: list
+    n_events: int = 0
+    n_injected: int = 0
+    spec_outcome: object = None
+    sim_outcome: object = None
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+
+def replay_history(sim_program, sim_machine, history, spec_program=None):
+    """Replay ``history`` under spec semantics; return a report.
+
+    ``sim_program`` is the already-run program object (host-side
+    observations intact); a fresh ``spec_program`` twin is built from
+    the registry unless one is supplied.
+    """
+    from repro.check.programs import make_program
+
+    if spec_program is None:
+        spec_program = make_program(sim_program.name, seed=sim_program.seed)
+    report = ConformanceReport(sim_program.name, [])
+    machine, executor = build_spec_execution(spec_program,
+                                             sim_machine.config)
+
+    budgets = {}
+    for record in history.aborted:
+        budgets[record.cpu] = budgets.get(record.cpu, 0) + 1
+    for cpu_id in executor.threads:
+        budgets[cpu_id] = budgets.get(cpu_id, 0) + ABORT_MARGIN
+
+    def diverge(detail):
+        report.divergences.append(detail)
+        return report
+
+    # -- the guided event loop -------------------------------------------
+    for record in history.committed:
+        thread = executor.threads.get(record.cpu)
+        if thread is None:
+            return diverge(
+                f"cpu{record.cpu}: history has a commit but the spec "
+                "spawned no thread there")
+        expected = record_event(record, machine)
+        while True:
+            try:
+                got = executor.demand(thread)
+            except SpecStuck as stuck:
+                return diverge(f"{stuck} (while awaiting {expected})")
+            except SpecError as err:
+                return diverge(f"cpu{record.cpu}: spec error {err} "
+                               f"(while awaiting {expected})")
+            if got is None:
+                return diverge(
+                    f"cpu{record.cpu}: spec thread finished before "
+                    f"producing {expected}")
+            if got.matches(expected):
+                executor.accept(thread)
+                report.n_events += 1
+                break
+            if budgets.get(record.cpu, 0) > 0 and thread.frames:
+                # The simulator aborted an attempt here; reproduce it.
+                budgets[record.cpu] -= 1
+                report.n_injected += 1
+                executor.inject_abort(thread)
+                continue
+            return diverge(
+                f"cpu{record.cpu}: spec produced [{got}] where the "
+                f"simulator committed [{expected}] "
+                "(no aborted attempt can explain the difference)")
+
+    # -- drain: every thread must finish without further events ----------
+    for cpu_id, thread in executor.threads.items():
+        while thread.status != DONE:
+            try:
+                result = executor.advance(thread, pure=False)
+            except SpecError as err:
+                return diverge(f"cpu{cpu_id}: spec error {err} during "
+                               "drain")
+            if result == "event":
+                return diverge(
+                    f"cpu{cpu_id}: spec produced an extra event "
+                    f"[{executor.pending_event(thread)}] the simulator "
+                    "never committed")
+            if result == "done":
+                break
+            if result == "parked":
+                if thread.t.daemon:
+                    break
+                if not executor.unblock(thread):
+                    return diverge(
+                        f"cpu{cpu_id}: spec thread still parked after "
+                        "the last committed event")
+
+    # -- final observation comparison -------------------------------------
+    report.sim_outcome = freeze(sim_program.outcome(sim_machine))
+    report.spec_outcome = freeze(spec_program.outcome(machine))
+    if report.sim_outcome != report.spec_outcome:
+        diverge("final outcome mismatch: "
+                f"sim {report.sim_outcome!r} != spec "
+                f"{report.spec_outcome!r}")
+    return report
+
+
+def check_conformance(program, machine, history, error, fault=None):
+    """Oracle entry point: one violation per spec disagreement.
+
+    Returns ``[]`` for programs the spec does not model (they declare
+    ``spec_supported = False``) and for histories containing waived
+    (released/resumed) records, which have no serial witness to replay.
+    """
+    from repro.check.oracles import OracleViolation
+
+    if not getattr(program, "spec_supported", False):
+        return []
+    if error is not None:
+        return [OracleViolation(
+            "conformance",
+            f"run did not complete ({type(error).__name__}: {error}); "
+            "the spec admits no incomplete outcome")]
+    if any(r.waived for r in history.committed):
+        return []
+    try:
+        report = replay_history(program, machine, history)
+    except SpecUnsupported:
+        return []
+    return [OracleViolation("conformance", detail)
+            for detail in report.divergences]

@@ -151,3 +151,22 @@ def test_rows_to_csv_round_trips(tmp_path):
     rows = list(csv.reader(io.StringIO(text)))
     assert rows[0] == ["n", "cycles"]
     assert rows[2] == ["2", "with,comma"]
+
+
+def test_dump_json_file_round_trips_nested_payload(tmp_path):
+    payload = {"runs": [{"name": "a", "cells": [1, 2]},
+                        {"name": "b", "cells": []}],
+               "meta": {"seeds": 3, "ok": True, "note": None}}
+    path = tmp_path / "nested.json"
+    dump_json(payload, path=str(path))
+    assert json.loads(path.read_text()) == payload
+
+
+def test_rows_to_csv_survives_quotes_and_newlines(tmp_path):
+    path = tmp_path / "tricky.csv"
+    rows = [("he said \"hi\"", "two\nlines"), ("", "trailing,comma,")]
+    rows_to_csv(["a", "b"], rows, path=str(path))
+    with open(path, newline="") as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed[0] == ["a", "b"]
+    assert [tuple(r) for r in parsed[1:]] == rows

@@ -1,0 +1,76 @@
+"""Mutation self-tests: the conformance differ has teeth.
+
+Each case switches on one deliberate semantic mutation inside the
+*reference executor* (a test-only hook, :func:`repro.spec.model.mutated`)
+and asserts the differential replay flags the resulting disagreement.
+A mutation that sailed through would mean a whole class of simulator
+bug — the same class the mutation models — could never be caught:
+
+* ``torn-commit``       — an outer publish silently drops its last
+                          buffered word (a half-applied commit).
+* ``dropped-compensation`` — an abort skips the §6b.6 violation-handler
+                          walk (compensation never runs).
+* ``stale-read``        — a transactional load bypasses the write
+                          buffer chain (lost read-after-write).
+* ``skipped-nested-rollback`` — a closed nested commit escapes its
+                          parent's rollback scope by writing straight
+                          to memory.
+"""
+
+import pytest
+
+from repro.check.fuzz import run_case
+from repro.spec.model import ACTIVE_MUTATIONS, MUTATION_KINDS, mutated
+
+#: (mutation, program that exposes it).  bank re-reads balances it has
+#: already overwritten inside the transfer transaction (stale-read);
+#: nestedopen commits a closed child under an aborting parent
+#: (skipped-nested-rollback); compensation arms §6b.6 handlers
+#: (dropped-compensation); any multi-word commit exposes torn-commit.
+CASES = [
+    ("torn-commit", "bank"),
+    ("dropped-compensation", "compensation"),
+    ("stale-read", "bank"),
+    ("skipped-nested-rollback", "nestedopen"),
+]
+
+
+def _conformance(result):
+    return [v for v in result.violations if v.oracle == "conformance"]
+
+
+@pytest.mark.parametrize("mutation,program", CASES,
+                         ids=[m for m, _ in CASES])
+def test_mutation_is_caught(mutation, program):
+    with mutated(mutation):
+        result = run_case(program, "lazy-wb-assoc", "det", 1)
+    assert not result.skipped
+    assert _conformance(result), (
+        f"the {mutation} mutation produced no spec disagreement on "
+        f"{program}: {result}")
+
+
+@pytest.mark.parametrize("mutation,program", CASES,
+                         ids=[m for m, _ in CASES])
+def test_mutation_control_is_clean(mutation, program):
+    """The same cell without the mutation is conformant — so the catch
+    above is attributable to the mutation, not the cell."""
+    result = run_case(program, "lazy-wb-assoc", "det", 1)
+    assert not result.skipped
+    assert not result.violations, str(result)
+
+
+def test_every_mutation_kind_is_exercised():
+    assert {m for m, _ in CASES} == set(MUTATION_KINDS)
+
+
+def test_mutated_is_scoped():
+    with mutated("torn-commit"):
+        assert "torn-commit" in ACTIVE_MUTATIONS
+    assert "torn-commit" not in ACTIVE_MUTATIONS
+
+
+def test_mutated_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        with mutated("eats-homework"):
+            pass
