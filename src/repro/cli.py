@@ -577,6 +577,10 @@ def build_parser():
                    help="flagship repetitions, best-of (default 3)")
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="fail unless the flagship speedup reaches this")
+    p.add_argument("--min-dispatch-ratio", type=float, default=0.0,
+                   help="fail any matrix cell whose table-dispatch "
+                        "steps/s falls below this multiple of its "
+                        "in-run naive_interp baseline")
     p.add_argument("--update-golden", action="store_true",
                    help="rewrite the golden cycle counts from this run")
     p.add_argument("--jobs", type=int, default=1,

@@ -96,6 +96,13 @@ class SystemConfig:
     #: bench harness's baseline (docs/performance.md).
     naive_detection: bool = False
 
+    #: Use the naive isinstance-chain op interpreter (fresh ExecOutcome
+    #: per instruction) instead of the per-op-type dispatch table with
+    #: interned outcomes.  Functionally identical bit-for-bit — kept as
+    #: the differential-testing reference and the bench harness's in-run
+    #: wall-clock baseline (docs/performance.md).
+    naive_interp: bool = False
+
     #: Model the cost of the lazy read-/write-set merge at closed-nested
     #: commits (cycles charged per merged line when the merge is forced).
     merge_cycles_per_line: int = 1

@@ -28,6 +28,7 @@ goldens with ``--update-golden`` after an *intentional* behaviour change
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
@@ -107,6 +108,16 @@ def run_cell(factory, config, max_cycles=2_000_000_000):
     }
 
 
+def _best_cell(factory, config, repeat=2):
+    """Best-of-``repeat`` :func:`run_cell` by run-phase wall time."""
+    best = None
+    for _ in range(max(1, repeat)):
+        result = run_cell(factory, config)
+        if best is None or result["phases"]["run_s"] < best["phases"]["run_s"]:
+            best = result
+    return best
+
+
 def run_cell_by_id(cell_id):
     """Run one matrix cell named by its id (the parallel path's runner).
 
@@ -114,11 +125,35 @@ def run_cell_by_id(cell_id):
     process reconstructs the cell from the name alone — and the
     per-phase wall-clock numbers stay honest because :func:`run_cell`
     times each phase inside the worker that runs it.
+
+    Each cell runs twice: once with the table-dispatched interpreter and
+    once with ``naive_interp=True`` (the retained reference chain).  Both
+    must produce bit-for-bit identical cycles and steps, and the in-run
+    steps/sec ratio (``dispatch_ratio``) is recorded — comparing against
+    a baseline measured in the same process keeps the floor check
+    load-tolerant, unlike absolute steps/sec thresholds.
     """
     for candidate, factory, config_factory in matrix_cells(smoke=False):
         if candidate == cell_id:
-            result = run_cell(factory, config_factory())
+            result = _best_cell(factory, config_factory())
             result["id"] = cell_id
+            naive = _best_cell(
+                factory,
+                dataclasses.replace(config_factory(), naive_interp=True))
+            if (naive["cycles"], naive["steps"]) != (
+                    result["cycles"], result["steps"]):
+                result["error"] = (
+                    "naive interpreter diverges: "
+                    f"{naive['cycles']}/{naive['steps']} cycles/steps != "
+                    f"{result['cycles']}/{result['steps']} — the dispatch "
+                    "table and the reference chain are observably "
+                    "different")
+            result["naive_steps_per_s"] = naive["steps_per_s"]
+            if result["steps_per_s"] and naive["steps_per_s"]:
+                result["dispatch_ratio"] = round(
+                    result["steps_per_s"] / naive["steps_per_s"], 3)
+            else:
+                result["dispatch_ratio"] = None
             return result
     raise ValueError(f"unknown bench cell {cell_id!r}")
 
@@ -213,7 +248,7 @@ def load_golden():
 
 
 def run_bench(smoke=False, repeat=3, update_golden=False,
-              min_speedup=0.0, report=print, jobs=1):
+              min_speedup=0.0, min_dispatch_ratio=0.0, report=print, jobs=1):
     """Run the matrix + flagship; returns (results dict, list of errors).
 
     ``jobs`` fans the golden-cycle matrix out across worker processes;
@@ -221,6 +256,12 @@ def run_bench(smoke=False, repeat=3, update_golden=False,
     the per-cell phase timings are taken inside each worker.  The
     flagship speedup measurement always runs serially — it compares
     wall-clock throughput, which co-running cells would distort.
+
+    ``min_dispatch_ratio`` is the wall-clock regression floor: every
+    cell's table-dispatch steps/sec divided by its in-run
+    ``naive_interp`` baseline must stay at or above it.  Because both
+    runs share the worker (and its machine load), the ratio is stable
+    where an absolute steps/sec threshold would flake in CI.
     """
     golden = {} if update_golden else load_golden()
     errors = []
@@ -242,9 +283,19 @@ def run_bench(smoke=False, repeat=3, update_golden=False,
         elif not result["ok"]:
             errors.append(
                 f"{cell_id}: {result['cycles']} cycles != golden {expected}")
+        ratio = result.get("dispatch_ratio")
+        if min_dispatch_ratio and ratio is not None \
+                and ratio < min_dispatch_ratio:
+            result["ok"] = False
+            errors.append(
+                f"{cell_id}: dispatch ratio {ratio}x below the required "
+                f"{min_dispatch_ratio}x (table {result['steps_per_s']:,} "
+                f"vs naive {result['naive_steps_per_s']:,} steps/s)")
         cells.append(result)
+        ratio_text = f"  x{ratio} vs naive" if ratio is not None else ""
         report(f"  {cell_id:<22} {result['cycles']:>9} cycles  "
-               f"{result['steps_per_s'] or 0:>8,} steps/s  "
+               f"{result['steps_per_s'] or 0:>8,} steps/s"
+               f"{ratio_text}  "
                f"{'ok' if result['ok'] else 'MISMATCH'}")
 
     specs = [CaseSpec(runner="repro.harness.bench:run_cell_by_id",
@@ -313,6 +364,7 @@ def cmd_bench(args):
     results, errors = run_bench(
         smoke=args.smoke, repeat=args.repeat,
         update_golden=args.update_golden, min_speedup=args.min_speedup,
+        min_dispatch_ratio=args.min_dispatch_ratio,
         jobs=args.jobs)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2)

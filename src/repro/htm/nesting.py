@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.common.addr import line_of
 from repro.common.errors import CapacityAbort
 
 
@@ -42,9 +41,12 @@ class NestingSchemeBase:
         self._stats = stats
         self.n_sets = config.l2_sets
         self.assoc = config.l2_assoc
+        # note_access runs per transactional load/store; keep its line
+        # math free of config-attribute hops.
+        self._line_size = config.line_size
 
     def _set_index(self, line_addr):
-        return (line_addr // self._config.line_size) % self.n_sets
+        return (line_addr // self._line_size) % self.n_sets
 
     def note_access(self, level, addr, kind):
         """Record a transactional access; raise CapacityAbort on overflow."""
@@ -81,7 +83,7 @@ class MultiTrackingScheme(NestingSchemeBase):
         self._sets = defaultdict(set)  # set index -> resident tx lines
 
     def note_access(self, level, addr, kind):
-        line = line_of(addr, self._config.line_size)
+        line = addr - addr % self._line_size
         bit = 1 << (level - 1)
         if line not in self._lines:
             set_index = self._set_index(line)
@@ -151,7 +153,7 @@ class AssociativityScheme(NestingSchemeBase):
         self._sets = defaultdict(set)  # set index -> {(line, level)}
 
     def note_access(self, level, addr, kind):
-        line = line_of(addr, self._config.line_size)
+        line = addr - addr % self._line_size
         key = (line, level)
         if key in self._entries:
             return

@@ -52,11 +52,21 @@ class TxState:
         self.cpu_id = cpu_id
         scope = stats.scope(f"cpu{cpu_id}.htm")
         self.stats = scope
-        self._n_loads = scope.counter("loads")
-        self._n_stores = scope.counter("stores")
+        # Per-access event counts kept as plain ints and folded into the
+        # stats tree by flush_stats() at run end (see Cache.flush_stats).
+        self.n_loads = 0
+        self.n_stores = 0
         self.rwsets = RwSets(config, index=index, cpu_id=cpu_id)
         self.versions = make_version_manager(config, memory, scope)
         self.nesting = make_nesting_scheme(config, scope)
+        # Pre-bound per-access methods: the component objects are fixed
+        # for the machine's lifetime, and load/store resolve these once
+        # per simulated memory instruction.
+        self._tx_load = self.versions.tx_load
+        self._tx_store = self.versions.tx_store
+        self._add_read = self.rwsets.add_read_unit
+        self._add_write = self.rwsets.add_write_unit
+        self._note_access = self.nesting.note_access
         self.levels = []          # stack of LevelInfo, index 0 = level 1
         self.flatten_extra = 0    # subsumed inner transactions when flattening
         self.timestamp = 0        # outermost xbegin cycle (eager priority)
@@ -74,6 +84,16 @@ class TxState:
 
     def is_validated(self):
         return any(info.status == VALIDATED for info in self.levels)
+
+    def flush_stats(self):
+        """Fold deferred per-access counts into the stats tree."""
+        if self.n_loads:
+            self.stats.add("loads", self.n_loads)
+            self.n_loads = 0
+        if self.n_stores:
+            self.stats.add("stores", self.n_stores)
+            self.n_stores = 0
+        self.versions.flush_stats()
 
 
 class HtmSystem:
@@ -97,6 +117,10 @@ class HtmSystem:
         # chain (rwsets.unit_of -> addr.line_of) is measurable there.
         self._line_units = config.granularity == LINE
         self._line_size = config.line_size
+        # Lazy detectors only act at commit time — their on_load/on_store
+        # are the base-class PROCEED stubs, so load/store skip the call
+        # entirely (an eager machine pays it, a lazy one should not).
+        self._access_checks = config.detection != LAZY
         self._next_txid = 1
         #: CPU holding machine-wide serial mode (the virtualization
         #: fallback hook), or None.
@@ -149,14 +173,15 @@ class HtmSystem:
         state = self.states[cpu_id]
         level = len(state.levels)
         unit = (addr - addr % self._line_size) if self._line_units else addr
-        action = self.detector.on_load(cpu_id, unit)
-        if action != PROCEED:
-            return action, None
+        if self._access_checks:
+            action = self.detector.on_load(cpu_id, unit)
+            if action != PROCEED:
+                return action, None
         if level >= 1:
-            state.rwsets.add_read_unit(level, unit)
-            state.nesting.note_access(level, addr, NestingSchemeBase.READ)
-        value = state.versions.tx_load(level, addr)
-        state._n_loads.add()
+            state._add_read(level, unit)
+            state._note_access(level, addr, NestingSchemeBase.READ)
+        value = state._tx_load(level, addr)
+        state.n_loads += 1
         return PROCEED, value
 
     def store(self, cpu_id, addr, value):
@@ -164,13 +189,14 @@ class HtmSystem:
         state = self.states[cpu_id]
         level = len(state.levels)
         unit = (addr - addr % self._line_size) if self._line_units else addr
-        action = self.detector.on_store(cpu_id, unit)
-        if action != PROCEED:
-            return action
+        if self._access_checks:
+            action = self.detector.on_store(cpu_id, unit)
+            if action != PROCEED:
+                return action
         if level >= 1:
-            state.rwsets.add_write_unit(level, unit)
-            state.nesting.note_access(level, addr, NestingSchemeBase.WRITE)
-            state.versions.tx_store(level, addr, value)
+            state._add_write(level, unit)
+            state._note_access(level, addr, NestingSchemeBase.WRITE)
+            state._tx_store(level, addr, value)
         else:
             # Non-transactional store: update memory and, in a lazy
             # machine, behave like a one-word commit so strong atomicity
@@ -178,7 +204,7 @@ class HtmSystem:
             self.memory.write(addr, value)
             if self.config.detection == LAZY:
                 self.detector.on_commit(cpu_id, {unit})
-        state._n_stores.add()
+        state.n_stores += 1
         return PROCEED
 
     def im_load(self, cpu_id, addr):
@@ -369,6 +395,12 @@ class HtmSystem:
         state.flatten_extra = 0
         state.stats.add("abandons")
         return work
+
+    def flush_stats(self):
+        """Fold every CPU's deferred per-access counts into the stats
+        tree (the engine calls this when a run ends)."""
+        for state in self.states:
+            state.flush_stats()
 
     # ------------------------------------------------------------------
     # Serial mode (the virtualization fallback hook, DESIGN.md §6b)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.common.addr import check_word_aligned
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
 
 
 @dataclasses.dataclass
@@ -45,6 +46,16 @@ class VersionManagerBase:
         # Undo records for ``imst`` at each active level, in push order.
         self._im_undo = []
         self._im_logged = set()  # (level, addr) pairs already logged
+        # Deferred per-store event count; flush_stats folds it into the
+        # stats tree under the scheme's counter name at run end.
+        self.n_stores = 0
+        self._stores_key = None  # set by subclasses that count stores
+
+    def flush_stats(self):
+        """Fold deferred event counts into the stats tree."""
+        if self.n_stores and self._stores_key:
+            self._stats.add(self._stores_key, self.n_stores)
+            self.n_stores = 0
 
     # -- immediate accesses ----------------------------------------------------
 
@@ -53,7 +64,6 @@ class VersionManagerBase:
 
     def im_store(self, level, addr, value):
         """``imst``: write memory now; keep undo info for ``level``."""
-        check_word_aligned(addr)
         if level >= 1 and (level, addr) not in self._im_logged:
             self._im_undo.append(UndoEntry(level, addr, self._memory.read(addr)))
             self._im_logged.add((level, addr))
@@ -132,7 +142,7 @@ class WriteBufferVersioning(VersionManagerBase):
         # Active levels in descending order, maintained on begin/commit/
         # rollback so the per-load lookup never sorts (hot path).
         self._levels_desc = []
-        self._n_stores = stats.counter("wbuf.stores")
+        self._stores_key = "wbuf.stores"
 
     def _relevel(self):
         self._levels_desc = sorted(self._buffers, reverse=True)
@@ -142,8 +152,9 @@ class WriteBufferVersioning(VersionManagerBase):
         self._relevel()
 
     def tx_load(self, level, addr):
-        check_word_aligned(addr)
         # Innermost buffered version wins; fall through to memory.
+        # (No alignment check here: buffered keys were checked by
+        # tx_store, and the memory fallthrough checks on read.)
         buffers = self._buffers
         for lvl in self._levels_desc:
             if lvl > level:
@@ -154,9 +165,12 @@ class WriteBufferVersioning(VersionManagerBase):
         return self._memory.read(addr)
 
     def tx_store(self, level, addr, value):
-        check_word_aligned(addr)
+        # The buffer write bypasses MemoryImage, so guard alignment here
+        # (inlined: this backs every speculative store).
+        if addr % WORD_SIZE:
+            raise MemoryError_(f"unaligned word access at {addr:#x}")
         self._buffers[level][addr] = value
-        self._n_stores.add()
+        self.n_stores += 1
 
     def commit_closed(self, level):
         child = self._buffers.pop(level)
@@ -212,7 +226,7 @@ class UndoLogVersioning(VersionManagerBase):
         self._log = []          # list[UndoEntry], push order
         self._logged = set()    # (level, word addr) already logged
         self._level_writes = {}  # level -> set of word addrs written
-        self._n_stores = stats.counter("undolog.stores")
+        self._stores_key = "undolog.stores"
 
     def begin_level(self, level):
         self._level_writes[level] = set()
@@ -222,7 +236,6 @@ class UndoLogVersioning(VersionManagerBase):
         log: interleaved ``imst``/store traffic to one word must undo in
         strict reverse order, which two separate stacks cannot guarantee
         (found by the hypothesis equivalence property)."""
-        check_word_aligned(addr)
         if level >= 1 and (level, addr, "im") not in self._logged:
             self._log.append(UndoEntry(
                 level, addr, self._memory.read(addr), kind="im"))
@@ -230,17 +243,15 @@ class UndoLogVersioning(VersionManagerBase):
         self._memory.write(addr, value)
 
     def tx_load(self, level, addr):
-        check_word_aligned(addr)
         return self._memory.read(addr)
 
     def tx_store(self, level, addr, value):
-        check_word_aligned(addr)
         if (level, addr, "tx") not in self._logged:
             self._log.append(UndoEntry(level, addr, self._memory.read(addr)))
             self._logged.add((level, addr, "tx"))
         self._level_writes[level].add(addr)
         self._memory.write(addr, value)
-        self._n_stores.add()
+        self.n_stores += 1
 
     def commit_closed(self, level):
         parent = level - 1

@@ -6,7 +6,16 @@ the per-CPU op executor.
 """
 
 from repro.isa.codereg import CodeRegistry
-from repro.isa.context import DONE, RUNNABLE, WAITING, Cpu, ExecOutcome
+from repro.isa.context import (
+    DONE,
+    RUNNABLE,
+    WAITING,
+    Cpu,
+    ExecOutcome,
+    latency_outcome,
+    register_op_handler,
+    unregister_op_handler,
+)
 from repro.isa.dispatch import (
     HandlerOutcome,
     default_abort_dispatcher,
@@ -26,6 +35,9 @@ __all__ = [
     "WAITING",
     "default_abort_dispatcher",
     "default_violation_dispatcher",
+    "latency_outcome",
     "lowest_level_in_mask",
+    "register_op_handler",
     "tcb",
+    "unregister_op_handler",
 ]

@@ -8,11 +8,39 @@ op constructors such as :meth:`load`, plus the registers in :attr:`isa`).
 The engine (:mod:`repro.sim.engine`) owns scheduling, violation-handler
 dispatch, and rollback unwinding; this module owns per-instruction
 semantics and timing.
+
+Interpreter hot path (docs/performance.md)
+------------------------------------------
+
+Every simulated instruction flows through :attr:`Cpu.execute`, so its
+constant factor decides the simulator's steps/s.  Two structures keep it
+cheap:
+
+* **Dispatch table.**  Each op type maps to a bound handler method in a
+  per-CPU dict built once in ``__init__`` from the
+  :data:`repro.sim.ops.ALL_OPS` vocabulary; executing an op is one dict
+  lookup on ``type(op)`` instead of a ~20-way ``isinstance`` chain.
+  Extension ops register through :func:`register_op_handler`; subclasses
+  of built-in ops (and any op registered after a Cpu was built) resolve
+  lazily through :meth:`Cpu._resolve_handler`, which falls back to the
+  retained reference chain (:meth:`Cpu._execute_chain`).
+
+* **Outcome interning.**  Ops whose result carries no value return shared
+  immutable :class:`ExecOutcome` instances (the STALL singleton, the
+  latency-1 singleton, and a small latency-keyed cache) instead of
+  allocating a fresh object per instruction.  Only value-carrying
+  outcomes (loads, commits, ...) still allocate.
+
+The pre-table interpreter survives as :meth:`Cpu._execute_chain` — it is
+the differential-testing reference and the bench harness's in-run naive
+baseline (``config.naive_interp``), exactly like ``naive_detection`` for
+the conflict detectors.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from types import MethodType
 
 from repro.common.errors import IsaError, SimulationError
 from repro.htm.conflict import PROCEED, SELF_ABORT, STALL
@@ -26,8 +54,8 @@ DONE = "done"
 
 @dataclasses.dataclass(slots=True)
 class ExecOutcome:
-    """Result of executing one operation (one per executed op — slotted
-    to keep the per-step allocation cheap)."""
+    """Result of executing one operation (slotted to keep the per-step
+    cost cheap; hot no-value shapes are shared via interning below)."""
 
     latency: int = 1
     value: object = None
@@ -35,8 +63,115 @@ class ExecOutcome:
     deschedule: bool = False
 
 
+class _InternedOutcome(ExecOutcome):
+    """A shared :class:`ExecOutcome` shape, frozen after construction.
+
+    Interned outcomes are returned for *every* op of their shape, so a
+    single mutation would silently corrupt every later instruction; the
+    override turns that bug into an immediate error.
+    """
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            "interned ExecOutcome instances are immutable (allocate a "
+            "fresh ExecOutcome instead of mutating a shared one)")
+
+    def __delattr__(self, name):
+        raise AttributeError(
+            "interned ExecOutcome instances are immutable (allocate a "
+            "fresh ExecOutcome instead of mutating a shared one)")
+
+
+def _intern(latency=1, value=None, stall=False, deschedule=False):
+    outcome = _InternedOutcome.__new__(_InternedOutcome)
+    setattr_ = object.__setattr__
+    setattr_(outcome, "latency", latency)
+    setattr_(outcome, "value", value)
+    setattr_(outcome, "stall", stall)
+    setattr_(outcome, "deschedule", deschedule)
+    return outcome
+
+
+#: The shared hot shapes: a stalled op, a latency-1/no-value op, and the
+#: YieldCpu deschedule.
+_STALL = _intern(stall=True)
+_UNIT = _intern()
+_DESCHEDULE = _intern(deschedule=True)
+
+#: Interned no-value outcomes keyed by latency.  Latencies come from the
+#: memory model (cache/memory/bus constants plus bounded queueing), so
+#: the working set is small; anything past the cap — pathological custom
+#: configs — falls back to a fresh allocation.
+_LATENCY_CACHE_LIMIT = 4096
+_latency_cache = {1: _UNIT}
+
+
+def latency_outcome(latency):
+    """A no-value :class:`ExecOutcome` with ``latency``, interned."""
+    outcome = _latency_cache.get(latency)
+    if outcome is None:
+        if latency <= _LATENCY_CACHE_LIMIT:
+            outcome = _latency_cache[latency] = _intern(latency=latency)
+        else:
+            outcome = ExecOutcome(latency=latency)
+    return outcome
+
+
+# Interned program-facing ops.  Load/ImLoad/Alu are frozen dataclasses
+# fully determined by one field, and programs re-issue the same handful
+# of addresses and ALU widths constantly; handing back a shared
+# instance skips a dataclass construction per dynamic instruction.
+# (Value-carrying Store/ImStore ops are not interned: their value field
+# has unbounded variety.)
+_OP_CACHE_LIMIT = 1 << 16
+_LOAD_CACHE = {}
+_IMLOAD_CACHE = {}
+_ALU_CACHE = {}
+
+
+# ---------------------------------------------------------------------------
+# Extension-op registration seam
+# ---------------------------------------------------------------------------
+
+#: Exact op type -> ``handler(cpu, op, now) -> ExecOutcome``.
+_EXTENSION_HANDLERS = {}
+
+
+def register_op_handler(op_cls, handler):
+    """Register an executor for an extension :class:`~repro.sim.ops.Op`.
+
+    ``handler(cpu, op, now)`` must return an :class:`ExecOutcome`.
+    Registration is by *exact* type.  Cpus built afterwards bind the
+    handler into their dispatch table up front; Cpus that already exist
+    pick it up lazily on the first executed instance.  Both interpreter
+    paths (table and reference chain) honour the registry, so extension
+    ops stay covered by the differential suite.
+    """
+    if not (isinstance(op_cls, type) and issubclass(op_cls, O.Op)):
+        raise IsaError(f"register_op_handler: {op_cls!r} is not an Op type")
+    if not callable(handler):
+        raise IsaError(f"register_op_handler: {handler!r} is not callable")
+    _EXTENSION_HANDLERS[op_cls] = handler
+
+
+def unregister_op_handler(op_cls):
+    """Remove an extension handler (no-op if absent).  Existing Cpus keep
+    their lazily-bound entry; new Cpus will reject the op again."""
+    _EXTENSION_HANDLERS.pop(op_cls, None)
+
+
 class Cpu:
     """One hardware thread of the simulated CMP."""
+
+    __slots__ = (
+        "cpu_id", "machine", "isa", "stats", "icount", "handler_icount",
+        "_n_violations_received", "frames", "dispatch_depth", "send_value",
+        "throw_exc", "parked", "saved_sends", "saved_viol", "state",
+        "resume_at", "daemon", "wake_tokens", "pending_abort", "result",
+        "failure", "rt", "_htm", "_mem", "_dispatch", "execute",
+    )
 
     def __init__(self, cpu_id, machine):
         self.cpu_id = cpu_id
@@ -76,18 +211,54 @@ class Cpu:
         #: Slot for the software runtime's per-thread state.
         self.rt = None
 
+        # --- interpreter hot path -----------------------------------------
+        # The HTM and memory-model *objects* are fixed for the machine's
+        # lifetime, so handlers bind them once; their methods are still
+        # resolved per call, which keeps the instrument/fault seams (that
+        # shadow e.g. ``htm.validate``) working.
+        self._htm = machine.htm
+        self._mem = machine.memmodel
+        self._dispatch = self._build_dispatch()
+        #: The public executor, held in a slot so instruments (the cycle
+        #: profiler) can shadow it per-CPU and restore it exactly.
+        #: ``naive_interp`` selects the retained reference chain — the
+        #: bench harness's in-run baseline.
+        if getattr(machine.config, "naive_interp", False):
+            self.execute = self._execute_chain_step
+        else:
+            self.execute = self._execute_step
+
+    def _build_dispatch(self):
+        """Bind one handler per op type (core vocabulary + extensions)."""
+        table = {}
+        for op_cls, func in _CORE_HANDLERS.items():
+            table[op_cls] = MethodType(func, self)
+        for op_cls, func in _EXTENSION_HANDLERS.items():
+            table[op_cls] = MethodType(func, self)
+        return table
+
     # ------------------------------------------------------------------
     # Program-facing op constructors (the "assembler")
     # ------------------------------------------------------------------
 
     def load(self, addr):
-        return O.Load(addr)
+        op = _LOAD_CACHE.get(addr)
+        if op is None:
+            op = O.Load(addr)
+            if len(_LOAD_CACHE) < _OP_CACHE_LIMIT:
+                _LOAD_CACHE[addr] = op
+        return op
 
     def store(self, addr, value):
         return O.Store(addr, value)
 
     def imld(self, addr):
-        return O.ImLoad(addr)
+        op = _IMLOAD_CACHE.get(addr)
+        if op is None:
+            op = O.ImLoad(addr)
+            if len(_IMLOAD_CACHE) < _OP_CACHE_LIMIT:
+                _IMLOAD_CACHE[addr] = op
+        return op
 
     def imst(self, addr, value):
         return O.ImStore(addr, value)
@@ -99,7 +270,12 @@ class Cpu:
         return O.Release(addr)
 
     def alu(self, cycles=1):
-        return O.Alu(cycles)
+        op = _ALU_CACHE.get(cycles)
+        if op is None:
+            op = O.Alu(cycles)
+            if len(_ALU_CACHE) < _OP_CACHE_LIMIT:
+                _ALU_CACHE[cycles] = op
+        return op
 
     # ------------------------------------------------------------------
     # Introspection for software
@@ -162,9 +338,15 @@ class Cpu:
     # Op execution
     # ------------------------------------------------------------------
 
-    def execute(self, op, now):
-        """Execute ``op`` at cycle ``now``; may raise CapacityAbort."""
-        outcome = self._execute(op, now)
+    def _execute_step(self, op, now):
+        """Execute ``op`` at cycle ``now``; may raise CapacityAbort.
+
+        This is the table-dispatched executor bound to :attr:`execute`.
+        """
+        handler = self._dispatch.get(op.__class__)
+        if handler is None:
+            handler = self._resolve_handler(op)
+        outcome = handler(op, now)
         if not outcome.stall:
             count = op.cycles if isinstance(op, O.Alu) else 1
             self.icount += count
@@ -174,7 +356,180 @@ class Cpu:
                 self.handler_icount += count
         return outcome
 
+    def _execute_chain_step(self, op, now):
+        """The ``naive_interp`` executor: reference chain + identical
+        instruction accounting (bit-for-bit the pre-table interpreter)."""
+        outcome = self._execute_chain(op, now)
+        if not outcome.stall:
+            count = op.cycles if isinstance(op, O.Alu) else 1
+            self.icount += count
+            if self.dispatch_depth:
+                self.handler_icount += count
+        return outcome
+
     def _execute(self, op, now):
+        """Table-dispatch ``op`` without instruction accounting (the
+        differential suite compares this against ``_execute_chain``)."""
+        handler = self._dispatch.get(op.__class__)
+        if handler is None:
+            handler = self._resolve_handler(op)
+        return handler(op, now)
+
+    def _resolve_handler(self, op):
+        """Dispatch-table miss: late-registered extension ops bind here;
+        subclasses of built-in ops keep their ``isinstance`` semantics by
+        falling back to the reference chain (which also raises the
+        canonical error for non-operations)."""
+        op_cls = op.__class__
+        func = _EXTENSION_HANDLERS.get(op_cls)
+        if func is not None:
+            handler = MethodType(func, self)
+        else:
+            handler = self._execute_chain
+            if not isinstance(op, O.Op):
+                # Don't memoize garbage types; just let the chain raise.
+                return handler
+        self._dispatch[op_cls] = handler
+        return handler
+
+    # --- per-op handlers (one dict lookup away from execute) ----------
+
+    def _exec_load(self, op, now):
+        action, value = self._htm.load(self.cpu_id, op.addr)
+        if action == STALL:
+            return _STALL
+        if action == SELF_ABORT:
+            self._self_abort(op.addr)
+            return _STALL
+        latency = self._mem.access(self.cpu_id, op.addr, False, now)
+        return ExecOutcome(latency=latency, value=value)
+
+    def _exec_store(self, op, now):
+        action = self._htm.store(self.cpu_id, op.addr, op.value)
+        if action == STALL:
+            return _STALL
+        if action == SELF_ABORT:
+            self._self_abort(op.addr)
+            return _STALL
+        latency = self._mem.access(self.cpu_id, op.addr, True, now)
+        return _UNIT if latency == 1 else latency_outcome(latency)
+
+    def _exec_imload(self, op, now):
+        value = self._htm.im_load(self.cpu_id, op.addr)
+        latency = self._mem.access(self.cpu_id, op.addr, False, now)
+        return ExecOutcome(latency=latency, value=value)
+
+    def _exec_imstore(self, op, now):
+        self._htm.im_store(self.cpu_id, op.addr, op.value)
+        latency = self._mem.access(self.cpu_id, op.addr, True, now)
+        return _UNIT if latency == 1 else latency_outcome(latency)
+
+    def _exec_imstoreid(self, op, now):
+        self._htm.im_store_id(self.cpu_id, op.addr, op.value)
+        latency = self._mem.access(self.cpu_id, op.addr, True, now)
+        return _UNIT if latency == 1 else latency_outcome(latency)
+
+    def _exec_release(self, op, now):
+        return ExecOutcome(value=self._htm.release(self.cpu_id, op.addr))
+
+    def _exec_alu(self, op, now):
+        cycles = op.cycles
+        return _UNIT if cycles <= 1 else latency_outcome(cycles)
+
+    def _exec_xbegin(self, op, now):
+        return ExecOutcome(value=self._htm.begin(self.cpu_id, op.open, now))
+
+    def _exec_xvalidate(self, op, now):
+        publishing = self.commit_publishes()
+        if not self._htm.validate(self.cpu_id):
+            return _STALL
+        latency = 1
+        if publishing and self.machine.config.detection == "lazy":
+            # Validation announces the write-set on the bus so other
+            # validators can check against it.
+            latency = self._mem.arbitrate_commit(now)
+        return latency_outcome(latency)
+
+    def _exec_xcommit(self, op, now):
+        committed_level = self.depth()
+        result = self._htm.commit(self.cpu_id)
+        if result.kind != "flattened":
+            self.isa.retire_level(
+                committed_level, merged=result.kind == "closed")
+        if result.kind in ("outer", "open"):
+            latency = self._mem.commit_broadcast(
+                self.cpu_id, result.written_words, now)
+            if self.machine.config.double_buffering:
+                # §6.3.3: the nesting hardware's spare tracking slots
+                # let the CPU run its next transaction while the
+                # broadcast drains; the bus occupancy (charged above,
+                # visible to everyone else) is hidden from this CPU.
+                self.stats.add("htm.hidden_commit_cycles", latency - 1)
+                latency = 1
+        else:
+            latency = 1
+        self.stats.add("htm.commit_cycles", latency)
+        return ExecOutcome(latency=latency, value=result.kind)
+
+    def _exec_xabort(self, op, now):
+        if self.depth() < 1:
+            raise IsaError("xabort outside a transaction")
+        self.isa.xabort_code = op.code
+        self.isa.viol_reporting = False
+        self.pending_abort = True
+        return _UNIT
+
+    def _exec_xrwsetclear(self, op, now):
+        target = op.level if op.level is not None else self.depth()
+        work = self.do_rollback(target)
+        latency = 1 + work * self.machine.config.undo_cycles_per_entry
+        self.stats.add("htm.rollback_cycles", latency)
+        return latency_outcome(latency)
+
+    def _exec_xregrestore(self, op, now):
+        # The architectural restore; the engine performs the actual
+        # frame unwinding when the dispatcher returns its outcome.
+        return _UNIT
+
+    def _exec_xvret(self, op, now):
+        self.isa.viol_reporting = True
+        return _UNIT
+
+    def _exec_xenviolrep(self, op, now):
+        self.isa.viol_reporting = True
+        return _UNIT
+
+    def _exec_xvclear(self, op, now):
+        self.isa.clear_current(op.mask)
+        return _UNIT
+
+    def _exec_yieldcpu(self, op, now):
+        if self.wake_tokens > 0:
+            self.wake_tokens -= 1
+            return _UNIT
+        return _DESCHEDULE
+
+    def _exec_wake(self, op, now):
+        self.machine.wake(op.cpu_id)
+        return _UNIT
+
+    def _exec_fence(self, op, now):
+        return _UNIT
+
+    def _exec_serialacquire(self, op, now):
+        return ExecOutcome(value=self._htm.try_acquire_serial(self.cpu_id))
+
+    def _exec_serialrelease(self, op, now):
+        self._htm.release_serial(self.cpu_id)
+        return _UNIT
+
+    # --- the retained reference interpreter ---------------------------
+
+    def _execute_chain(self, op, now):
+        """The pre-table ``isinstance`` chain, kept verbatim (plus the
+        extension-registry tail) as the differential-testing reference
+        and the ``naive_interp`` baseline.  Allocates a fresh
+        :class:`ExecOutcome` per op, exactly like the original."""
         machine = self.machine
         htm = machine.htm
         mem = machine.memmodel
@@ -231,8 +586,6 @@ class Cpu:
                 return ExecOutcome(stall=True)
             latency = 1
             if publishing and machine.config.detection == "lazy":
-                # Validation announces the write-set on the bus so other
-                # validators can check against it.
                 latency = mem.arbitrate_commit(now)
             return ExecOutcome(latency=latency)
 
@@ -246,10 +599,6 @@ class Cpu:
                 latency = mem.commit_broadcast(
                     self.cpu_id, result.written_words, now)
                 if machine.config.double_buffering:
-                    # §6.3.3: the nesting hardware's spare tracking slots
-                    # let the CPU run its next transaction while the
-                    # broadcast drains; the bus occupancy (charged above,
-                    # visible to everyone else) is hidden from this CPU.
                     self.stats.add("htm.hidden_commit_cycles", latency - 1)
                     latency = 1
             else:
@@ -273,8 +622,6 @@ class Cpu:
             return ExecOutcome(latency=latency)
 
         if isinstance(op, O.XRegRestore):
-            # The architectural restore; the engine performs the actual
-            # frame unwinding when the dispatcher returns its outcome.
             return ExecOutcome()
 
         if isinstance(op, O.XVRet):
@@ -308,6 +655,10 @@ class Cpu:
         if isinstance(op, O.SerialRelease):
             htm.release_serial(self.cpu_id)
             return ExecOutcome()
+
+        func = _EXTENSION_HANDLERS.get(op.__class__)
+        if func is not None:
+            return func(self, op, now)
 
         raise SimulationError(f"cpu {self.cpu_id}: not an operation: {op!r}")
 
@@ -347,3 +698,37 @@ class Cpu:
             mask = 1 << (level - 1)
         self.isa.post(mask, addr)
         self.stats.add("htm.self_aborts")
+
+
+#: Op type -> unbound handler, covering the whole core vocabulary.  The
+#: per-CPU dispatch table binds these once in ``Cpu.__init__``.
+_CORE_HANDLERS = {
+    O.Load: Cpu._exec_load,
+    O.Store: Cpu._exec_store,
+    O.ImLoad: Cpu._exec_imload,
+    O.ImStore: Cpu._exec_imstore,
+    O.ImStoreId: Cpu._exec_imstoreid,
+    O.Release: Cpu._exec_release,
+    O.Alu: Cpu._exec_alu,
+    O.XBegin: Cpu._exec_xbegin,
+    O.XValidate: Cpu._exec_xvalidate,
+    O.XCommit: Cpu._exec_xcommit,
+    O.XAbort: Cpu._exec_xabort,
+    O.XRwSetClear: Cpu._exec_xrwsetclear,
+    O.XRegRestore: Cpu._exec_xregrestore,
+    O.XVRet: Cpu._exec_xvret,
+    O.XEnViolRep: Cpu._exec_xenviolrep,
+    O.XVClear: Cpu._exec_xvclear,
+    O.YieldCpu: Cpu._exec_yieldcpu,
+    O.Wake: Cpu._exec_wake,
+    O.Fence: Cpu._exec_fence,
+    O.SerialAcquire: Cpu._exec_serialacquire,
+    O.SerialRelease: Cpu._exec_serialrelease,
+}
+
+# A new op added to the vocabulary without a handler must fail at import
+# time, not as a mid-simulation chain fallback.
+_MISSING_HANDLERS = set(O.ALL_OPS) - set(_CORE_HANDLERS)
+if _MISSING_HANDLERS:   # pragma: no cover - import-time safety net
+    raise ImportError(
+        f"ops without dispatch handlers: {sorted(c.__name__ for c in _MISSING_HANDLERS)}")

@@ -20,7 +20,20 @@ from collections import deque
 
 
 class IsaState:
-    """Registers of one hardware thread."""
+    """Registers of one hardware thread.
+
+    Slotted: the violation registers are probed at every instruction
+    boundary, so the per-step attribute loads should not go through a
+    dict (subclasses built via the ``Machine.make_isa_state`` seam may
+    still add their own attributes — they get a ``__dict__`` unless they
+    declare slots too).
+    """
+
+    __slots__ = (
+        "cpu_id", "xtcbptr_base", "xtcbptr_top", "xchcode", "xvhcode",
+        "xahcode", "xvpc", "xvaddr", "xvcurrent", "_vqueue", "_live",
+        "viol_reporting", "xabort_code", "requeue_enabled",
+    )
 
     def __init__(self, cpu_id):
         self.cpu_id = cpu_id

@@ -18,6 +18,13 @@ class Bus:
         self._config = config
         self._stats = stats.scope("bus")
         self._busy_until = 0
+        # acquire() runs per cache miss and per commit broadcast; bind
+        # the counters and arbitration constants once.
+        self._arbitration = config.bus_arbitration
+        self._line_cycles = config.line_transfer_cycles
+        self._n_transactions = self._stats.counter("transactions")
+        self._n_busy = self._stats.counter("busy_cycles")
+        self._n_wait = self._stats.counter("wait_cycles")
 
     def acquire(self, now, hold_cycles):
         """Request the bus at ``now`` for ``hold_cycles``.
@@ -26,17 +33,20 @@ class Bus:
         itself costs ``bus_arbitration`` cycles, overlapped with waiting
         for the bus to free.
         """
-        grant = max(now + self._config.bus_arbitration, self._busy_until)
+        grant = now + self._arbitration
+        busy = self._busy_until
+        if busy > grant:
+            grant = busy
         done = grant + hold_cycles
         self._busy_until = done
-        self._stats.add("transactions")
-        self._stats.add("busy_cycles", hold_cycles)
-        self._stats.add("wait_cycles", grant - now)
+        self._n_transactions.add()
+        self._n_busy.add(hold_cycles)
+        self._n_wait.add(grant - now)
         return done
 
     def line_transfer(self, now):
         """Acquire the bus for one cache-line transfer."""
-        return self.acquire(now, self._config.line_transfer_cycles)
+        return self.acquire(now, self._line_cycles)
 
     @property
     def busy_until(self):

@@ -11,63 +11,123 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.common.addr import line_of
-
 
 class Cache:
-    """An LRU set-associative cache of line addresses."""
+    """An LRU set-associative cache of line addresses.
 
-    def __init__(self, name, size_bytes, assoc, line_size, stats):
+    Every simulated load probes :meth:`lookup`, so the line/set math is
+    inlined and the event counters are plain integer attributes bumped
+    in place; :meth:`flush_stats` folds them into the stats tree (the
+    engine calls it when a run ends, so finished machines always expose
+    the usual ``l1.hits``-style counters).
+    """
+
+    def __init__(self, name, size_bytes, assoc, line_size, stats,
+                 registry=None, owner=None):
         self.name = name
         self.assoc = assoc
         self.line_size = line_size
         self.n_sets = size_bytes // (line_size * assoc)
         self._sets = [OrderedDict() for _ in range(self.n_sets)]
         self._stats = stats.scope(name)
+        #: Optional shared residency registry (line -> dict of caches
+        #: holding it, used as an insertion-ordered set so snoop order
+        #: is deterministic), kept exact by insert/invalidate/evict so
+        #: the memory model can snoop only the caches that hold a line
+        #: instead of sweeping every cache in the machine.
+        self._registry = registry
+        #: The registry key identifying this cache's CPU (snoops skip
+        #: the requester's own caches).
+        self.owner = owner
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        self.n_fills = 0
+        self.n_invalidations = 0
+
+    def flush_stats(self):
+        """Fold the locally-accumulated event counts into the stats tree
+        and reset them, so repeated flushes (or multi-run reuse) never
+        double-count.  Zero counts are skipped so the tree grows a key
+        only for events that actually happened, exactly as per-event
+        ``add`` calls would."""
+        stats = self._stats
+        for name, count in (("hits", self.n_hits),
+                            ("misses", self.n_misses),
+                            ("evictions", self.n_evictions),
+                            ("fills", self.n_fills),
+                            ("invalidations", self.n_invalidations)):
+            if count:
+                stats.add(name, count)
+        self.n_hits = self.n_misses = 0
+        self.n_evictions = self.n_fills = self.n_invalidations = 0
 
     def _set_for(self, line_addr):
         return self._sets[(line_addr // self.line_size) % self.n_sets]
 
     def lookup(self, addr):
         """True (and LRU-touch) if the line holding ``addr`` is resident."""
-        line = line_of(addr, self.line_size)
-        cache_set = self._set_for(line)
+        line_size = self.line_size
+        line = addr - addr % line_size
+        cache_set = self._sets[(line // line_size) % self.n_sets]
         if line in cache_set:
             cache_set.move_to_end(line)
-            self._stats.add("hits")
+            self.n_hits += 1
             return True
-        self._stats.add("misses")
+        self.n_misses += 1
         return False
 
     def insert(self, addr):
         """Bring the line holding ``addr`` in; return the evicted line
         address, or ``None`` if no eviction was needed."""
-        line = line_of(addr, self.line_size)
-        cache_set = self._set_for(line)
+        line_size = self.line_size
+        line = addr - addr % line_size
+        cache_set = self._sets[(line // line_size) % self.n_sets]
         if line in cache_set:
             cache_set.move_to_end(line)
             return None
         victim = None
+        registry = self._registry
         if len(cache_set) >= self.assoc:
             victim, _ = cache_set.popitem(last=False)
-            self._stats.add("evictions")
+            self.n_evictions += 1
+            if registry is not None:
+                holders = registry.get(victim)
+                if holders is not None:
+                    holders.pop(self, None)
+                    if not holders:
+                        del registry[victim]
         cache_set[line] = True
-        self._stats.add("fills")
+        self.n_fills += 1
+        if registry is not None:
+            holders = registry.get(line)
+            if holders is None:
+                registry[line] = {self: True}
+            else:
+                holders[self] = True
         return victim
 
     def invalidate(self, addr):
         """Drop the line holding ``addr`` if resident; True if it was."""
-        line = line_of(addr, self.line_size)
-        cache_set = self._set_for(line)
+        line_size = self.line_size
+        line = addr - addr % line_size
+        cache_set = self._sets[(line // line_size) % self.n_sets]
         if line in cache_set:
             del cache_set[line]
-            self._stats.add("invalidations")
+            self.n_invalidations += 1
+            registry = self._registry
+            if registry is not None:
+                holders = registry.get(line)
+                if holders is not None:
+                    holders.pop(self, None)
+                    if not holders:
+                        del registry[line]
             return True
         return False
 
     def contains(self, addr):
         """Presence check without touching LRU state or stats."""
-        line = line_of(addr, self.line_size)
+        line = addr - addr % self.line_size
         return line in self._set_for(line)
 
     def resident_lines(self):

@@ -34,6 +34,9 @@ class MemoryModel:
         """Cycles to win commit ordering (the TCC commit token)."""
         raise NotImplementedError
 
+    def flush_stats(self):
+        """Fold deferred event counts into the stats tree (run end)."""
+
 
 class FlatMemory(MemoryModel):
     """Every access costs one cycle; broadcasts are free."""
@@ -55,52 +58,67 @@ class HierarchicalMemory(MemoryModel):
         self._config = config
         self._stats = stats
         self.bus = Bus(config, stats)
+        #: line -> insertion-ordered dict of caches holding it.  Snoops
+        #: (store upgrades, commit broadcasts) walk only a line's actual
+        #: holders instead of every cache in the machine — same
+        #: invalidations, same counters, O(holders) instead of
+        #: O(n_cpus) per snooped line.
+        self.residency = {}
         self.l1 = []
         self.l2 = []
         for cpu_id in range(config.n_cpus):
             scope = stats.scope(f"cpu{cpu_id}")
             self.l1.append(
                 Cache("l1", config.l1_size, config.l1_assoc,
-                      config.line_size, scope))
+                      config.line_size, scope,
+                      registry=self.residency, owner=cpu_id))
             self.l2.append(
                 Cache("l2", config.l2_size, config.l2_assoc,
-                      config.line_size, scope))
+                      config.line_size, scope,
+                      registry=self.residency, owner=cpu_id))
+        # Per-access constants, resolved once: `access` runs for every
+        # simulated load/store, and five attribute hops through the
+        # config dataclass cost more than the cache probe itself.
+        self._eager = config.detection == "eager"
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
+        self._mem_latency = config.mem_latency
+        self._line_size = config.line_size
 
     def access(self, cpu_id, addr, is_write, now):
-        config = self._config
         extra = 0
-        if is_write and config.detection == "eager":
+        if is_write and self._eager:
             # Eager machines acquire exclusive ownership on stores; remote
             # copies are invalidated, and the upgrade costs a bus grant if
             # anyone actually held the line.
             extra = self._invalidate_remote(cpu_id, addr, now)
-        if self.l1[cpu_id].lookup(addr):
-            return config.l1_latency + extra
+        l1 = self.l1[cpu_id]
+        if l1.lookup(addr):
+            return self._l1_latency + extra
         if self.l2[cpu_id].lookup(addr):
-            self.l1[cpu_id].insert(addr)
-            return config.l2_latency + extra
+            l1.insert(addr)
+            return self._l2_latency + extra
         # Miss to memory: arbitrate for the bus, transfer the line, pay the
         # DRAM latency, then fill both cache levels.
-        done = self.bus.line_transfer(now + config.l2_latency)
-        done += config.mem_latency
+        l2_latency = self._l2_latency
+        done = self.bus.line_transfer(now + l2_latency)
+        done += self._mem_latency
         self.l2[cpu_id].insert(addr)
-        self.l1[cpu_id].insert(addr)
+        l1.insert(addr)
         return done - now + extra
 
     def _invalidate_remote(self, cpu_id, addr, now):
         """Invalidate remote copies of the line holding ``addr``; returns
         the upgrade latency (one bus grant if any copy existed)."""
-        had_copy = False
-        for other in range(self._config.n_cpus):
-            if other == cpu_id:
-                continue
-            if self.l1[other].invalidate(addr):
-                had_copy = True
-            if self.l2[other].invalidate(addr):
-                had_copy = True
-        if had_copy:
-            return self.bus.acquire(now, 1) - now
-        return 0
+        holders = self.residency.get(addr - addr % self._line_size)
+        if not holders:
+            return 0
+        remote = [c for c in holders if c.owner != cpu_id]
+        if not remote:
+            return 0
+        for cache in remote:
+            cache.invalidate(addr)
+        return self.bus.acquire(now, 1) - now
 
     def commit_broadcast(self, cpu_id, line_addrs, now):
         """Broadcast the committed write-set over the bus.
@@ -115,18 +133,25 @@ class HierarchicalMemory(MemoryModel):
             return 1
         done = self.bus.acquire(
             now, self._config.line_transfer_cycles * len(lines))
-        for other in range(self._config.n_cpus):
-            if other == cpu_id:
+        residency = self.residency
+        for line in lines:
+            holders = residency.get(line)
+            if not holders:
                 continue
-            for line in lines:
-                self.l1[other].invalidate(line)
-                self.l2[other].invalidate(line)
+            for cache in [c for c in holders if c.owner != cpu_id]:
+                cache.invalidate(line)
         return done - now
 
     def arbitrate_commit(self, now):
         """Winning the commit token costs one bus arbitration."""
         done = self.bus.acquire(now, 1)
         return done - now
+
+    def flush_stats(self):
+        for cache in self.l1:
+            cache.flush_stats()
+        for cache in self.l2:
+            cache.flush_stats()
 
 
 def make_memory_model(config, stats):

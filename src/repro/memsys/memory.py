@@ -7,23 +7,31 @@ zero-filled physical pages.
 
 from __future__ import annotations
 
-from repro.common.addr import check_word_aligned
+from repro.common.errors import MemoryError_
+from repro.common.params import WORD_SIZE
 
 
 class MemoryImage:
-    """Word-addressed backing store for the whole machine."""
+    """Word-addressed backing store for the whole machine.
+
+    ``read``/``write`` back every simulated memory access, so the
+    alignment guard is inlined rather than calling
+    :func:`~repro.common.addr.check_word_aligned`.
+    """
 
     def __init__(self):
         self._words = {}
 
     def read(self, addr):
         """Read the word at ``addr`` (0 if never written)."""
-        check_word_aligned(addr)
+        if addr % WORD_SIZE:
+            raise MemoryError_(f"unaligned word access at {addr:#x}")
         return self._words.get(addr, 0)
 
     def write(self, addr, value):
         """Write ``value`` to the word at ``addr``."""
-        check_word_aligned(addr)
+        if addr % WORD_SIZE:
+            raise MemoryError_(f"unaligned word access at {addr:#x}")
         self._words[addr] = value
 
     def read_block(self, addr, n_words):

@@ -21,8 +21,8 @@ Buckets (per CPU):
 * ``idle`` — cycles a CPU spent not executing: parked on a yield,
   stalled on a NACK/commit token, descheduled, or finished early.
 
-Every cycle is charged as it happens by shadowing ``cpu.execute`` (an
-instance attribute, so an unprofiled machine pays nothing), and
+Every cycle is charged as it happens by shadowing ``cpu.execute`` (a
+per-CPU executor slot, so an unprofiled machine pays nothing), and
 speculative work is tracked through the HTM's ``begin`` / ``commit`` /
 ``rollback_to`` / ``abandon_all`` seams: a begin marks the speculative
 accumulator, an outer/open commit retires the span above its mark into
@@ -221,9 +221,12 @@ class CycleProfiler:
 
     def _wrap_execute(self, cpu):
         books = self._cpu[cpu.cpu_id]
-        prev = cpu.__dict__.get("execute")
+        # ``cpu.execute`` is a slot holding the active executor (the
+        # dispatch-table step, or whatever shadow an earlier instrument
+        # installed); save it so detach can restore it exactly.
+        prev = cpu.execute
 
-        def execute(op, now, _orig=cpu.execute):
+        def execute(op, now, _orig=prev):
             # Account the gap since this CPU's last busy interval first,
             # so an exception (CapacityAbort) leaves the books balanced.
             if now > books.last_end:
@@ -294,14 +297,11 @@ class CycleProfiler:
         self._active = False
         self._seams.restore()
         for cpu, prev, wrapper in self._saved_execute:
-            # The wrapper shadows the class method via the instance dict;
-            # removing the shadow restores the zero-overhead class path
-            # (or whatever shadow an earlier instrument had installed).
-            if cpu.__dict__.get("execute") is wrapper:
-                if prev is None:
-                    del cpu.__dict__["execute"]
-                else:
-                    cpu.execute = prev
+            # Restoring the saved executor removes the shadow and brings
+            # back the zero-overhead dispatch path (or whatever shadow an
+            # earlier instrument had installed).
+            if cpu.execute is wrapper:
+                cpu.execute = prev
         self._saved_execute = []
 
     def __enter__(self):

@@ -96,11 +96,19 @@ class Runtime:
         yield t.imstid(frame + tcb.AH_TOP * WORD_SIZE, rt.ah_top)
         yield t.alu()  # bump xtcbptr_top
         t.isa.xtcbptr_top = frame
+        # Mirror the TCB spill in the Python-side snapshot *before*
+        # xbegin retires: a violation can be delivered on the very next
+        # step after xbegin, before this generator resumes, and the
+        # dispatcher must find the new level's bases (the architectural
+        # copy already sits in the frame written above; nothing can
+        # register handlers in that window, so the tops are still
+        # current).
+        rt.snapshot_bases(old_depth + 1)
         level = yield O.XBegin(open=open_)
-        if level == old_depth + 1:
-            rt.snapshot_bases(level)
-        # else: flattening subsumed this transaction; the real outer
-        # transaction's snapshot stays authoritative.
+        if level != old_depth + 1:
+            # Flattening subsumed this transaction; the real outer
+            # transaction's snapshot stays authoritative.
+            rt.bases.pop(old_depth + 1, None)
         yield t.alu()  # status-word bookkeeping
         return level
 

@@ -141,6 +141,14 @@ class Machine:
         cpu.state = RUNNABLE
         cpu.resume_at = 0
         cpu.daemon = daemon
+        # Rebinding a DONE CPU must not leak the previous program's
+        # state into this one: a stale banked wake token would suppress
+        # the new program's first YieldCpu sleep, and a stale pending op
+        # result would be sent into the just-started generator.
+        cpu.wake_tokens = 0
+        cpu.send_value = None
+        cpu.throw_exc = None
+        cpu.pending_abort = False
         if not daemon:
             self._live_programs += 1
         if self._use_heap:
@@ -196,41 +204,74 @@ class Machine:
             # the run ends in DeadlockError/SimulationError.
             for cpu in self.cpus:
                 cpu.flush_stats()
+            self.memmodel.flush_stats()
+            self.htm.flush_stats()
 
     def _run_loop(self, use_heap, max_cycles, max_steps):
+        # Loop-invariant lookups hoisted out of the per-step path; the
+        # seam-wrapped callables (self._step, self.step_hook, the policy)
+        # stay attribute probes so instruments and fault injectors that
+        # rebind them mid-run keep working.
+        cpus = self.cpus
+        heappush = heapq.heappush
+        choose = self.policy.choose
         steps = 0
-        while self._live_programs > 0:
-            if use_heap:
-                cpu = self._pop_ready()
-            else:
-                runnable = [
-                    cpu for cpu in self.cpus
-                    if cpu.frames and cpu.state == RUNNABLE
-                ]
-                cpu = self.policy.choose(runnable) if runnable else None
-            if cpu is None:
-                waiting = [
-                    cpu.cpu_id for cpu in self.cpus
-                    if cpu.frames and cpu.state == WAITING and not cpu.daemon
-                ]
-                raise DeadlockError(
-                    f"all threads waiting at cycle {self.now}: {waiting}")
-            if cpu.resume_at > self.now:
-                self.now = cpu.resume_at
-            if self.now > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles")
-            steps += 1
-            if max_steps is not None and steps > max_steps:
-                raise SimulationError(f"simulation exceeded {max_steps} steps")
-            self._step(cpu)
-            hook = self.step_hook
-            if hook is not None:
-                hook(cpu)
-            if use_heap and cpu.state == RUNNABLE and cpu.frames:
-                heapq.heappush(self._ready, (cpu.resume_at, cpu.cpu_id))
-        self.stats.set("cycles", self.now)
-        self.stats.add("engine.steps", steps)
+        try:
+            while self._live_programs > 0:
+                if use_heap:
+                    cpu = self._pop_ready()
+                else:
+                    runnable = [
+                        cpu for cpu in cpus
+                        if cpu.frames and cpu.state == RUNNABLE
+                    ]
+                    cpu = choose(runnable) if runnable else None
+                if cpu is None:
+                    waiting = [
+                        cpu.cpu_id for cpu in cpus
+                        if cpu.frames and cpu.state == WAITING
+                        and not cpu.daemon
+                    ]
+                    raise DeadlockError(
+                        f"all threads waiting at cycle {self.now}: {waiting}")
+                while True:
+                    if cpu.resume_at > self.now:
+                        self.now = cpu.resume_at
+                    if self.now > max_cycles:
+                        raise SimulationError(
+                            f"simulation exceeded {max_cycles} cycles")
+                    steps += 1
+                    if max_steps is not None and steps > max_steps:
+                        raise SimulationError(
+                            f"simulation exceeded {max_steps} steps")
+                    self._step(cpu)
+                    hook = self.step_hook
+                    if hook is not None:
+                        hook(cpu)
+                    if not (use_heap and cpu.state == RUNNABLE
+                            and cpu.frames):
+                        break
+                    # Run-ahead: when no ready entry could be popped
+                    # before this CPU's next step — (resume_at, cpu_id)
+                    # heap order, so the comparison *is* the scheduling
+                    # decision — step it again without the push/pop
+                    # round-trip.  An equal head entry is this CPU's own
+                    # stale entry (same key = same cpu_id); anything
+                    # smaller wins the pop, so park our entry and yield.
+                    ready = self._ready
+                    entry = (cpu.resume_at, cpu.cpu_id)
+                    if ready and ready[0] < entry:
+                        heappush(ready, entry)
+                        break
+                    if self._live_programs <= 0:
+                        break
+        finally:
+            # Failed runs (DeadlockError, cycle overrun, workload
+            # exceptions) keep their cycle and step counts — the stats
+            # must describe the run that actually happened, not only
+            # clean exits.
+            self.stats.set("cycles", self.now)
+            self.stats.add("engine.steps", steps)
         for failed in self.cpus:
             if failed.failure is not None:
                 raise failed.failure
@@ -266,33 +307,59 @@ class Machine:
         # handler is not recursively interrupted unless it deliberately
         # re-enables reporting (xenviolrep before an open-nested
         # transaction, paper footnote 1).
-        if cpu.pending_abort and cpu.throw_exc is None:
-            cpu.pending_abort = False
-            self._push_dispatcher(cpu, kind="abort")
-        elif (cpu.isa.viol_reporting and cpu.throw_exc is None
-                and cpu.isa.has_deliverable()):
-            # A stalled operation (e.g. waiting for the commit token) that
-            # gets overtaken by a violation stays parked: it re-issues if
-            # the handler resumes, and is dropped by the rollback path.
-            self._push_dispatcher(cpu, kind="violation")
+        if cpu.throw_exc is None:
+            if cpu.pending_abort:
+                cpu.pending_abort = False
+                self._push_dispatcher(cpu, kind="abort")
+            else:
+                isa = cpu.isa
+                # Direct ``_vqueue`` probe == isa.has_deliverable(),
+                # minus a method call on the per-instruction path.
+                if isa.viol_reporting and isa._vqueue:
+                    # A stalled operation (e.g. waiting for the commit
+                    # token) that gets overtaken by a violation stays
+                    # parked: it re-issues if the handler resumes, and is
+                    # dropped by the rollback path.
+                    self._push_dispatcher(cpu, kind="violation")
 
         # Fetch the next operation (or retry this frame's stalled one).
+        # The generator resume (``_advance``) is inlined: it runs once
+        # per dynamic instruction and the call frame alone is measurable.
+        parked = cpu.parked
         frame_index = len(cpu.frames) - 1
-        if frame_index in cpu.parked and cpu.throw_exc is None:
-            op = cpu.parked.pop(frame_index)
+        if parked and frame_index in parked and cpu.throw_exc is None:
+            op = parked.pop(frame_index)
         else:
-            op = self._advance(cpu)
-            if op is None:
-                return  # frame finished or thread done
+            exc = cpu.throw_exc
+            try:
+                if exc is not None:
+                    cpu.throw_exc = None
+                    op = cpu.frames[-1].throw(exc)
+                else:
+                    value = cpu.send_value
+                    cpu.send_value = None
+                    op = cpu.frames[-1].send(value)
+            except StopIteration as stop:
+                self._frame_finished(cpu, stop.value)
+                return
+            except TxRollback as rollback:
+                self._rollback_escaped(cpu, rollback)
+                return
+            except Exception as error:  # noqa: BLE001 - workload bugs
+                cpu.failure = error
+                self._kill(cpu)
+                return
         if not isinstance(op, Op):
             cpu.failure = SimulationError(
                 f"cpu {cpu.cpu_id} yielded non-op {op!r}")
             self._kill(cpu)
             return
 
-        # Execute.
+        # Execute.  The frame stack cannot change during execute, so the
+        # fetched frame_index stays valid for the stall-park below.
+        now = self.now
         try:
-            outcome = cpu.execute(op, self.now)
+            outcome = cpu.execute(op, now)
         except CapacityAbort as overflow:
             self._handle_capacity_abort(cpu, overflow)
             return
@@ -300,13 +367,13 @@ class Machine:
             # Retry quickly: an eager-mode winner must re-issue its access
             # inside the victim's rollback window, before the restarted
             # victim re-acquires the line (the LogTM retry-after-NACK).
-            cpu.parked[len(cpu.frames) - 1] = op
-            cpu.resume_at = self.now + 2
+            parked[frame_index] = op
+            cpu.resume_at = now + 2
             return
         self._capacity_retries[cpu.cpu_id] = 0
         cpu.send_value = outcome.value
         latency = outcome.latency
-        cpu.resume_at = self.now + (latency if latency > 1 else 1)
+        cpu.resume_at = now + (latency if latency > 1 else 1)
         if outcome.deschedule:
             self._park(cpu)
 
@@ -323,53 +390,35 @@ class Machine:
         ``cpu_id``.  A no-op on the bare machine; the tracer wraps it to
         record ``fault`` trace events."""
 
-    def _advance(self, cpu):
-        """Advance the top frame; returns the yielded op or None."""
-        frame = cpu.frames[-1]
-        try:
-            if cpu.throw_exc is not None:
-                exc = cpu.throw_exc
-                cpu.throw_exc = None
-                return frame.throw(exc)
-            value = cpu.send_value
-            cpu.send_value = None
-            return frame.send(value)
-        except StopIteration as stop:
-            self._frame_finished(cpu, stop.value)
-            return None
-        except TxRollback as rollback:
-            # A rollback escaped this frame.  From a dispatcher frame this
-            # is the normal hand-off to the program below; from the
-            # program frame it means no atomic wrapper caught it.
-            if len(cpu.frames) > 1:
-                # The dispatcher died before finishing: re-queue the
-                # conflict it was handling for any level that survives
-                # this rollback (it must be re-delivered, not silently
-                # dropped), then restore the interrupted frame's violation
-                # registers so that if *it* is also a dying dispatcher,
-                # its record is re-queued in turn on the next unwind step.
-                cpu.isa.requeue_current(rollback.level)
-                cpu.parked.pop(len(cpu.frames) - 1, None)
-                cpu.frames.pop()
-                cpu.dispatch_depth -= 1
-                index = len(cpu.frames) - 1
-                cpu.parked.pop(index, None)
-                cpu.saved_sends.pop(index, None)
-                saved = cpu.saved_viol.pop(index, None)
-                if saved is not None:
-                    cpu.isa.xvcurrent, cpu.isa.xvaddr = saved
-                cpu.isa.viol_reporting = True
-                cpu.throw_exc = rollback
-                return None
-            cpu.failure = SimulationError(
-                f"cpu {cpu.cpu_id}: rollback escaped the program "
-                f"(level {rollback.level}, {rollback.reason})")
-            self._kill(cpu)
-            return None
-        except Exception as error:  # noqa: BLE001 - surface workload bugs
-            cpu.failure = error
-            self._kill(cpu)
-            return None
+    def _rollback_escaped(self, cpu, rollback):
+        """A rollback escaped the frame ``_step`` just resumed.  From a
+        dispatcher frame this is the normal hand-off to the program
+        below; from the program frame it means no atomic wrapper caught
+        it."""
+        if len(cpu.frames) > 1:
+            # The dispatcher died before finishing: re-queue the
+            # conflict it was handling for any level that survives
+            # this rollback (it must be re-delivered, not silently
+            # dropped), then restore the interrupted frame's violation
+            # registers so that if *it* is also a dying dispatcher,
+            # its record is re-queued in turn on the next unwind step.
+            cpu.isa.requeue_current(rollback.level)
+            cpu.parked.pop(len(cpu.frames) - 1, None)
+            cpu.frames.pop()
+            cpu.dispatch_depth -= 1
+            index = len(cpu.frames) - 1
+            cpu.parked.pop(index, None)
+            cpu.saved_sends.pop(index, None)
+            saved = cpu.saved_viol.pop(index, None)
+            if saved is not None:
+                cpu.isa.xvcurrent, cpu.isa.xvaddr = saved
+            cpu.isa.viol_reporting = True
+            cpu.throw_exc = rollback
+            return
+        cpu.failure = SimulationError(
+            f"cpu {cpu.cpu_id}: rollback escaped the program "
+            f"(level {rollback.level}, {rollback.reason})")
+        self._kill(cpu)
 
     def _frame_finished(self, cpu, value):
         if len(cpu.frames) > 1:
@@ -384,8 +433,15 @@ class Machine:
             outcome = value if value is not None else HandlerOutcome.resume()
             self._apply_outcome(cpu, outcome)
             return
-        # The program finished.
+        # The program finished.  Clear the dispatch bookkeeping exactly
+        # like _kill does: anything left behind (a parked op, a saved op
+        # result, saved violation registers) belongs to the finished
+        # program, and a CPU rebound via add_thread must not replay it.
         cpu.frames = []
+        cpu.parked.clear()
+        cpu.saved_sends.clear()
+        cpu.saved_viol.clear()
+        cpu.dispatch_depth = 0
         cpu.result = value
         cpu.state = DONE
         if not cpu.daemon:
@@ -462,6 +518,9 @@ class Machine:
         cpu.saved_sends.clear()
         cpu.saved_viol.clear()
         cpu.send_value = None
+        # The abort discards the transaction the wakeup was aimed at; a
+        # banked token surviving it would eat the retry's next sleep.
+        cpu.wake_tokens = 0
         cpu.throw_exc = CapacityAbort(1, overflow.detail)
         cpu.resume_at = self.now + 1
 
@@ -475,6 +534,12 @@ class Machine:
         cpu.saved_sends.clear()
         cpu.saved_viol.clear()
         cpu.dispatch_depth = 0
+        # Tokens banked for the dead program must not suppress a later
+        # program's first YieldCpu sleep on a rebound CPU.
+        cpu.wake_tokens = 0
+        cpu.send_value = None
+        cpu.throw_exc = None
+        cpu.pending_abort = False
         cpu.state = DONE
         self.htm.abandon_all(cpu.cpu_id)
 

@@ -230,6 +230,34 @@ class SerialRelease(Op):
 #: Operations whose execution reads or writes the memory system.
 MEMORY_OPS = (Load, Store, ImLoad, ImStore, ImStoreId)
 
+#: The complete core operation vocabulary, in definition order.  The
+#: interpreter (:mod:`repro.isa.context`) builds its per-CPU dispatch
+#: table from this tuple at import time; extension ops ride on top of it
+#: via :func:`repro.isa.context.register_op_handler`.
+ALL_OPS = (
+    Load,
+    Store,
+    ImLoad,
+    ImStore,
+    ImStoreId,
+    Release,
+    XBegin,
+    XValidate,
+    XCommit,
+    XAbort,
+    XRwSetClear,
+    XRegRestore,
+    XVRet,
+    XEnViolRep,
+    XVClear,
+    Alu,
+    YieldCpu,
+    Wake,
+    Fence,
+    SerialAcquire,
+    SerialRelease,
+)
+
 #: Operations implementing paper Table 2.
 ISA_OPS = (
     XBegin,

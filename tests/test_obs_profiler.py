@@ -61,7 +61,7 @@ class TestConservation:
         machine = workload.run(paper_config(n_cpus=2),
                                instruments=[attach])
         # Workload.run detached the instrument before returning.
-        assert all("execute" not in cpu.__dict__ for cpu in machine.cpus)
+        assert all(cpu.execute == cpu._execute_step for cpu in machine.cpus)
         account = profilers[0].account()
         assert account.balanced, account.problems()
         assert account.totals["wasted"] == 0
@@ -127,11 +127,15 @@ class TestAccountShape:
 class TestExactDetach:
     def test_detach_restores_class_execute_path(self):
         machine = Machine(functional_config(n_cpus=2))
+        before = [cpu.execute for cpu in machine.cpus]
         profiler = CycleProfiler(machine)
-        assert all("execute" in cpu.__dict__ for cpu in machine.cpus)
+        assert all(cpu.execute is not orig
+                   for cpu, orig in zip(machine.cpus, before))
         profiler.detach()
-        # Zero-overhead contract: no instance shadow left behind.
-        assert all("execute" not in cpu.__dict__ for cpu in machine.cpus)
+        # Zero-overhead contract: no wrapper shadow left behind — the
+        # slot holds the original dispatch-table executor again.
+        assert all(cpu.execute is orig
+                   for cpu, orig in zip(machine.cpus, before))
 
     def test_detach_restores_htm_seams(self):
         machine = Machine(functional_config(n_cpus=2))
@@ -180,7 +184,7 @@ class TestExactDetach:
         profiler = CycleProfiler(machine)
         profiler.detach()
         profiler.detach()
-        assert all("execute" not in cpu.__dict__ for cpu in machine.cpus)
+        assert all(cpu.execute == cpu._execute_step for cpu in machine.cpus)
 
 
 class TestFlagship:
