@@ -87,6 +87,7 @@ point the run prunes instead of starving it forever.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 
 from repro.common.errors import ReproError
 from repro.common.params import LAZY
@@ -101,6 +102,7 @@ from repro.sim.schedule import (
     ControlledPolicy,
     SchedulePruned,
 )
+from repro.sim.snapshot import SnapshotError
 
 from repro.obs.profiler import CycleProfiler
 from repro.obs.sinks import RingSink
@@ -113,7 +115,7 @@ from repro.check.fuzz import (
     build_config,
     collect_violations,
 )
-from repro.check.history import HistoryRecorder
+from repro.check.history import History, HistoryRecorder, TxRecord
 from repro.check.oracles import OracleViolation, check_cycle_conservation
 from repro.check.programs import make_program
 from repro.spec.replay import freeze
@@ -433,6 +435,373 @@ class StepRecorder:
 
 
 # ----------------------------------------------------------------------
+# Checkpointed exploration: a worker-local prefix-tree snapshot cache
+# ----------------------------------------------------------------------
+#
+# A node run is a pure function of its choice prefix, and every child
+# shares all but the last choice with its parent — so the stateless
+# "replay from cycle 0" discipline re-executes the same prefix over and
+# over.  Each worker therefore keeps a bounded LRU cache of mid-run
+# machine snapshots (:mod:`repro.sim.snapshot`), keyed by the choice
+# prefix that produced them: a node forks from the deepest cached
+# ancestor instead of replaying from the start, and deposits fresh
+# checkpoints along its own continuation for its descendants.
+#
+# Soundness rests on three facts:
+#
+# * **Machine state is a function of the choices alone.**  Two runs that
+#   made the same choice sequence stepped the same CPUs through the same
+#   ops, whatever sleep sets or forced maps *led* to those choices — so
+#   a checkpoint deposited by any node serves any other node whose
+#   prefix extends the checkpoint's choices.  The recorded candidate
+#   lists, footprints, deliveries, histories and cycle books are equally
+#   choice-determined, so the observers restore from the same entry.
+# * **Fork points stop strictly before the branch step.**  A child's
+#   *new* sleep entries activate at the branch step ``len(prefix) - 1``
+#   (see :func:`_make_children`), and the recorder's removal rule may
+#   fire at exactly that step — so restoring at or past it could skip a
+#   wake-up and prune a schedule the stateless run explores.  Probing
+#   only depths ``s <= len(prefix) - 1`` keeps every sleep-set decision
+#   inside the live (resumed) portion of the run.  Inherited entries
+#   survive all earlier steps by construction: the parent executed the
+#   identical steps with the entry live and did not remove it, and the
+#   removal rule is deterministic in (footprint, deliveries, entry).
+# * **The policy is never restored.**  ``restore_policy=False`` keeps
+#   the child's own :class:`ControlledPolicy` — forced map, sleep set,
+#   ``sleep_from`` — and only the recorded ``choices``/``candidates``
+#   (identical to what a faithful replay of the prefix would have
+#   recorded) are preloaded from the checkpoint.
+#
+# The cache is verified differentially: ``--no-checkpoint`` keeps the
+# stateless path, and the conformance gate asserts verdict-for-verdict
+# equality between the two modes (tests/test_explore_checkpoint.py).
+# Any :class:`SnapshotError` falls back to the stateless path for that
+# node (counted in ``fallbacks``) — checkpointing is an accelerator,
+# never a semantic dependency.
+
+#: Deposit a checkpoint every this many scheduling steps.
+CHECKPOINT_INTERVAL = 8
+
+#: Never deposit past this step: children branch near their prefix, so
+#: deep checkpoints are rarely re-entered, and both capture cost and
+#: ghost-replay cost grow with the journal.
+CHECKPOINT_MAX_STEP = 512
+
+#: Per-worker byte budget for cached checkpoints (LRU-evicted).
+CHECKPOINT_BUDGET = 48 * 1024 * 1024
+
+
+class _Checkpoint:
+    """One cached mid-run state: the machine snapshot plus the observer
+    state (recorder, history, profiler, tracer) that goes with it."""
+
+    __slots__ = ("snapshot", "recorder", "history", "profiler", "tracer",
+                 "nbytes")
+
+
+class CheckpointCache:
+    """Bounded-LRU map from ``(base, choices)`` to :class:`_Checkpoint`.
+
+    ``base`` pins everything else a run depends on — ``(program,
+    config, fault, seed, recording)`` — so a lookup can only ever hit a
+    state its own schedule would reach.  Budgeting is by approximate
+    bytes, evicting least-recently-used entries first.
+    """
+
+    def __init__(self, budget=CHECKPOINT_BUDGET,
+                 interval=CHECKPOINT_INTERVAL,
+                 max_step=CHECKPOINT_MAX_STEP):
+        self.budget = budget
+        self.interval = interval
+        self.max_step = max_step
+        self._entries = OrderedDict()
+        self._bytes = 0
+        self.stats = {"hits": 0, "misses": 0, "deposits": 0,
+                      "evictions": 0, "fallbacks": 0, "bytes": 0}
+
+    def lookup(self, base, prefix):
+        """The deepest cached ancestor strictly before the branch step
+        (``s <= len(prefix) - 1``; see the fork-point note above), as
+        ``(entry, s)`` — ``(None, 0)`` on a miss."""
+        limit = len(prefix) - 1
+        depth = (limit // self.interval) * self.interval if limit > 0 else 0
+        while depth > 0:
+            key = (base, tuple(prefix[:depth]))
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+                return entry, depth
+            depth -= self.interval
+        self.stats["misses"] += 1
+        return None, 0
+
+    def deposit(self, key, entry):
+        if key in self._entries or entry.nbytes > self.budget:
+            return
+        self._entries[key] = entry
+        self._bytes += entry.nbytes
+        self.stats["deposits"] += 1
+        while self._bytes > self.budget:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats["evictions"] += 1
+        self.stats["bytes"] = self._bytes
+
+    def clear(self):
+        self._entries.clear()
+        self._bytes = 0
+        self.stats["bytes"] = 0
+
+
+#: The worker-local cache (one per process; explore workers persist
+#: across generations, so deposits survive wave boundaries).
+_CHECKPOINTS = CheckpointCache()
+
+class _NodeContext:
+    """One worker's reusable restore target: a machine with the explore
+    observer stack permanently attached (same attach order as the
+    stateless path: recorder, history, profiler, tracer).
+
+    Constructing the observers costs more than a short resumed run, so
+    hit-path nodes share one context per (program, config) and
+    overwrite its state from the checkpoint instead of rebuilding it.
+    Only the restore path may use a context: ``reset_machine`` leaves
+    htm/memsys state for :func:`repro.sim.snapshot.restore` to
+    overwrite, so a stateless (cache-miss) run always builds fresh.
+    """
+
+    __slots__ = ("machine", "recorder", "history", "profiler", "tracer")
+
+    def __init__(self, config):
+        placeholder = ControlledPolicy(window=EXPLORE_WINDOW)
+        self.machine = Machine(config, policy=placeholder)
+        self.recorder = StepRecorder(self.machine, placeholder)
+        self.history = HistoryRecorder(self.machine)
+        self.profiler = CycleProfiler(self.machine)
+        self.tracer = Tracer(self.machine,
+                             sink=RingSink(TRACE_RING, mode="tail"))
+
+    def begin_node(self, policy):
+        """Point the attached observers at a new node's run.
+
+        Shared-able containers are **rebound, never cleared**: cached
+        checkpoints hold references to the previous node's lists (see
+        :func:`_deposit_hook`), and the restore's ``setup_fn`` replays
+        program bring-up with the observers attached — anything they
+        record before the checkpoint state lands must go into fresh
+        books, not cached ones.
+        """
+        machine = self.machine
+        machine.policy = policy
+        machine.step_hook = None
+        recorder = self.recorder
+        recorder.policy = policy
+        recorder.sleep_from = 0
+        recorder._sleep = {}
+        recorder.footprints = []
+        recorder.deliveries = []
+        recorder.sleep_before = []
+        recorder._acc_reads.clear()
+        recorder._acc_writes.clear()
+        recorder._acc_delivered.clear()
+        recorder._acc_global = False
+        for cpu_id in recorder._cpu_reads:
+            recorder._cpu_reads[cpu_id] = set()
+            recorder._cpu_writes[cpu_id] = set()
+        history = self.history
+        history.history = History()
+        history._frames = [[] for _ in machine.cpus]
+        history._seq = 0
+        # The profiler's books are overwritten wholesale by
+        # :func:`_restore_profiler_state`; only the account memo must
+        # reset here.
+        self.profiler._account = None
+        self.tracer.sink = RingSink(TRACE_RING, mode="tail")
+
+
+#: Restore-target contexts, one per (program, config) per worker.
+_CONTEXTS = {}
+
+
+def checkpoint_cache_stats():
+    """This process's cumulative checkpoint-cache counters."""
+    return dict(_CHECKPOINTS.stats)
+
+
+def _checkpoint_supported(program_name, config_name, fault):
+    """Where checkpointing is enabled.  Fault runs are excluded for
+    correctness — the injector holds plan state outside the snapshot.
+    The litmus/lazy gate is conservatism: those runs' verdicts read
+    only machine state (memory, results, history), never program-object
+    side state, and lazy detection is where exploration volume lives."""
+    return (fault is None
+            and program_name.startswith("litmus-")
+            and CONFIGS.get(config_name, {}).get("detection", LAZY) == LAZY)
+
+
+def _node_setup(program_name, seed):
+    """The ``setup_fn`` a restore re-runs to rebuild coroutine frames
+    (identical to the stateless path's bring-up; programs derive all
+    randomness from ``seed``, so the rebuild is deterministic)."""
+    def setup(machine):
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        program = make_program(program_name, seed=seed)
+        program.setup(machine, runtime, arena)
+        return program
+    return setup
+
+
+def _restore_node(program_name, config_name, policy, entry, seed):
+    """Restore ``entry`` onto this worker's pooled node context
+    (building it on first use), install the node's own ``policy``, and
+    preload the recorded choice/candidate prefix."""
+    key = (program_name, config_name)
+    ctx = _CONTEXTS.get(key)
+    if ctx is None:
+        program = make_program(program_name, seed=seed)
+        ctx = _NodeContext(build_config(config_name, program))
+        _CONTEXTS[key] = ctx
+    ctx.begin_node(policy)
+    program = ctx.machine.restore(
+        entry.snapshot, _node_setup(program_name, seed),
+        restore_policy=False)
+    (choices, n_choices, candidates, n_candidates,
+     divergences, n_divergences, _sleep) = entry.snapshot.policy
+    policy.choices[:] = choices[:n_choices]
+    policy.candidates[:] = candidates[:n_candidates]
+    policy.divergences[:] = divergences[:n_divergences]
+    return ctx, program
+
+
+def _restore_recorder_state(recorder, policy, sleep_entries, sleep_from,
+                            rec_state, start):
+    """Point the pooled :class:`StepRecorder` at this node and load the
+    checkpoint's recorded prefix.  ``sleep_before`` is synthesized as
+    ``start`` copies of the node's initial entries — exact, because no
+    entry of *this* node can be removed before the branch step (the
+    fork-point constraint above)."""
+    footprints, deliveries, n, cpu_reads, cpu_writes = rec_state
+    recorder.policy = policy
+    recorder.sleep_from = sleep_from
+    recorder._sleep = dict(sleep_entries)
+    recorder.footprints = list(footprints[:n])
+    recorder.deliveries = list(deliveries[:n])
+    recorder.sleep_before = [dict(recorder._sleep) for _ in range(start)]
+    for cpu, units in cpu_reads.items():
+        recorder._cpu_reads[cpu] = set(units)
+    for cpu, units in cpu_writes.items():
+        recorder._cpu_writes[cpu] = set(units)
+
+
+def _clone_tx(record):
+    """A mutation-isolated copy of one live frame's :class:`TxRecord`
+    (``reads`` spans are 2-element lists the recorder updates in
+    place)."""
+    return TxRecord(
+        txid=record.txid, cpu=record.cpu, level=record.level,
+        open=record.open, begin_cycle=record.begin_cycle,
+        reads={unit: list(span) for unit, span in record.reads.items()},
+        writes=set(record.writes), status=record.status,
+        kind=record.kind, commit_seq=record.commit_seq,
+        commit_cycle=record.commit_cycle, resumed=record.resumed,
+        released=record.released)
+
+
+def _capture_history_state(history_recorder):
+    """Snapshot the history books at a step boundary.
+
+    Committed/aborted records are immutable once appended (the recorder
+    only mutates *live* frames, and a record leaves the frame stacks
+    exactly when it enters one of those lists), so the lists are shared
+    by reference; only the live frames need cloning.
+    """
+    history = history_recorder.history
+    return (history.committed, len(history.committed),
+            history.aborted, len(history.aborted),
+            [[_clone_tx(record) for record in stack]
+             for stack in history_recorder._frames],
+            history_recorder._seq)
+
+
+def _restore_history_state(history_recorder, hist_state):
+    committed, n_committed, aborted, n_aborted, frames, seq = hist_state
+    history_recorder.history.committed = list(committed[:n_committed])
+    history_recorder.history.aborted = list(aborted[:n_aborted])
+    # Cloned per restore: one cache entry seeds many nodes, and each
+    # resumed run mutates its own live frames.
+    history_recorder._frames = [
+        [_clone_tx(record) for record in stack] for stack in frames]
+    history_recorder._seq = seq
+
+
+def _restore_profiler_state(profiler, prof_state):
+    for books, saved in zip(profiler._cpu, prof_state):
+        books.restore_state(saved)
+
+
+def _restore_tracer_state(tracer, trace_state):
+    events, dropped = trace_state
+    sink = RingSink(TRACE_RING, mode="tail")
+    sink._events.extend(events)
+    sink.dropped = dropped
+    tracer.sink = sink
+
+
+def _deposit_hook(base, policy, recorder, history_recorder, profiler,
+                  tracer):
+    """The engine ``checkpoint_hook`` that deposits along this node's
+    continuation.  Fires at step boundaries (after ``step_hook``), so
+    every observer is quiescent: the recorder's accumulators are empty
+    and the profiler's books are settled."""
+    cache = _CHECKPOINTS
+
+    def hook(machine, n_steps):
+        if n_steps == 0 or n_steps % cache.interval:
+            return
+        if n_steps > cache.max_step:
+            machine.checkpoint_hook = None
+            return
+        key = (base, tuple(policy.choices))
+        if key in cache._entries:
+            return
+        try:
+            snapshot = machine.snapshot()
+        except SnapshotError:
+            machine.checkpoint_hook = None
+            return
+        entry = _Checkpoint()
+        entry.snapshot = snapshot
+        entry.recorder = None
+        if recorder is not None:
+            # The per-step lists are append-only with immutable entries
+            # for the node's lifetime (the next pooled node *rebinds*
+            # them), so they are shared by reference with a length
+            # bound — same zero-copy discipline as the step journal.
+            entry.recorder = (
+                recorder.footprints, recorder.deliveries,
+                len(recorder.footprints),
+                {cpu: set(units)
+                 for cpu, units in recorder._cpu_reads.items()},
+                {cpu: set(units)
+                 for cpu, units in recorder._cpu_writes.items()})
+        entry.history = _capture_history_state(history_recorder)
+        entry.profiler = tuple(
+            books.snapshot_state() for books in profiler._cpu)
+        # Bounded copy: the tail ring holds at most TRACE_RING events.
+        entry.tracer = (list(tracer.sink._events), tracer.sink.dropped)
+        entry.nbytes = (
+            snapshot.approx_bytes()
+            + 96 * (entry.history[1] + entry.history[3])
+            + 64 * len(entry.tracer[0])
+            + (64 * entry.recorder[2] if entry.recorder else 0))
+        cache.deposit(key, entry)
+
+    return hook
+
+
+# ----------------------------------------------------------------------
 # Running one node
 # ----------------------------------------------------------------------
 
@@ -515,6 +884,9 @@ class NodeOutcome:
     verdict: ScheduleVerdict = None
     #: (child_prefix, encoded_sleep) pairs, in enumeration order.
     children: tuple = ()
+    #: Checkpoint-cache counter deltas for this node (None when the
+    #: node ran stateless); ``bytes`` is the worker's absolute gauge.
+    cache: dict = None
 
 
 def _should_prune(prune, fault, config):
@@ -522,51 +894,104 @@ def _should_prune(prune, fault, config):
 
 
 def _execute(program_name, config_name, forced, sleep, sleep_from,
-             fault, seed, max_cycles, record):
+             fault, seed, max_cycles, record, checkpoint_ctx=None):
     """Run one controlled schedule; returns the post-run state tuple
     ``(program, machine, policy, history, error, pruned_at, recorder,
     obs)`` where ``obs`` is the ``(tracer, profiler)`` pair every node
     carries (trace-on-failure ring + cycle-conservation books).
+
+    ``checkpoint_ctx`` (``{"base", "prefix", "deposit"}``) switches the
+    node to the checkpoint cache: fork from the deepest cached ancestor
+    of ``prefix`` when one exists, and (when ``deposit``) leave
+    checkpoints along this run's continuation.  Verdicts are identical
+    either way — the cache only changes where execution starts.
     """
     if fault is not None and fault not in FAULTS:
         raise ValueError(f"unknown fault {fault!r}; choose from {FAULTS}")
-    program = make_program(program_name, seed=seed)
-    config = build_config(config_name, program)
     sleep_entries = _decode_sleep(sleep)
     policy = ControlledPolicy(
         forced=forced, sleep=sleep_entries, sleep_from=sleep_from,
         window=EXPLORE_WINDOW)
-    machine = Machine(config, policy=policy)
-    recorder = None
-    if record and _should_prune(True, fault, config):
-        recorder = StepRecorder(machine, policy,
-                                sleep_entries=sleep_entries,
-                                sleep_from=sleep_from)
+    entry = None
+    start = 0
+    ctx = None
+    if checkpoint_ctx is not None:
+        entry, start = _CHECKPOINTS.lookup(
+            checkpoint_ctx["base"], checkpoint_ctx["prefix"])
+    if entry is not None:
+        try:
+            ctx, program = _restore_node(
+                program_name, config_name, policy, entry, seed)
+        except SnapshotError:
+            _CHECKPOINTS.stats["fallbacks"] += 1
+            entry, start, ctx = None, 0, None
+            policy.choices.clear()
+            policy.candidates.clear()
+            policy.divergences.clear()
     injector = None
-    if fault is not None:
-        injector = FaultInjector(make_plan(fault, seed), machine)
-    runtime = Runtime(machine)
-    arena = SharedArena(machine)
-    history_recorder = HistoryRecorder(machine)
-    profiler = CycleProfiler(machine)
-    tracer = Tracer(machine, sink=RingSink(TRACE_RING, mode="tail"))
+    if ctx is not None:
+        # Hit path: the pooled context's observers are already attached;
+        # load their state from the checkpoint (checkpointing never runs
+        # under a fault plan, so no injector here).
+        machine = ctx.machine
+        config = machine.config
+        recorder = None
+        if record and _should_prune(True, fault, config):
+            recorder = ctx.recorder
+            _restore_recorder_state(recorder, policy, sleep_entries,
+                                    sleep_from, entry.recorder, start)
+            machine.step_hook = recorder._close_step
+        history_recorder = ctx.history
+        profiler = ctx.profiler
+        tracer = ctx.tracer
+        _restore_history_state(history_recorder, entry.history)
+        _restore_profiler_state(profiler, entry.profiler)
+        _restore_tracer_state(tracer, entry.tracer)
+    else:
+        program = make_program(program_name, seed=seed)
+        config = build_config(config_name, program)
+        machine = Machine(config, policy=policy)
+        if checkpoint_ctx is not None:
+            machine.enable_journal()
+        recorder = None
+        if record and _should_prune(True, fault, config):
+            recorder = StepRecorder(machine, policy,
+                                    sleep_entries=sleep_entries,
+                                    sleep_from=sleep_from)
+        if fault is not None:
+            injector = FaultInjector(make_plan(fault, seed), machine)
+        runtime = Runtime(machine)
+        arena = SharedArena(machine)
+        history_recorder = HistoryRecorder(machine)
+        profiler = CycleProfiler(machine)
+        tracer = Tracer(machine, sink=RingSink(TRACE_RING, mode="tail"))
+    if checkpoint_ctx is not None and checkpoint_ctx["deposit"]:
+        machine.checkpoint_interval = _CHECKPOINTS.interval
+        machine.checkpoint_hook = _deposit_hook(
+            checkpoint_ctx["base"], policy, recorder, history_recorder,
+            profiler, tracer)
     error = None
     pruned_at = None
     try:
-        program.setup(machine, runtime, arena)
+        if ctx is None:
+            program.setup(machine, runtime, arena)
         machine.run(max_cycles=max_cycles or program.max_cycles)
     except SchedulePruned as exc:
         pruned_at = exc.step
     except ReproError as exc:
         error = exc
     finally:
-        tracer.detach()
-        profiler.detach()
-        history_recorder.detach()
-        if injector is not None:
-            injector.detach()
-        if recorder is not None:
-            recorder.detach()
+        machine.checkpoint_hook = None
+        if ctx is None:
+            tracer.detach()
+            profiler.detach()
+            history_recorder.detach()
+            if injector is not None:
+                injector.detach()
+            if recorder is not None:
+                recorder.detach()
+        else:
+            machine.step_hook = None
     return (program, machine, policy, history_recorder.history, error,
             pruned_at, recorder, (tracer, profiler))
 
@@ -679,20 +1104,35 @@ def _make_children(prefix, policy, recorder, max_depth, n_cpus):
 
 
 def run_node(program_name, config_name, prefix=(), sleep=(), fault=None,
-             seed=1, max_depth=None, prune=True, max_cycles=None):
+             seed=1, max_depth=None, prune=True, max_cycles=None,
+             checkpoint=False):
     """Run one exploration node: replay ``prefix``, complete the run
     deterministically, judge it, and derive the child prefixes.
 
     Pure in its (picklable) arguments — the unit the campaign executor
     shards across workers.  ``sleep`` is the encoded sleep-set seed for
     this subtree; ``max_depth`` bounds the step index at which new
-    branches may be taken.
+    branches may be taken.  ``checkpoint`` enables the worker-local
+    snapshot cache where :func:`_checkpoint_supported` allows; the
+    node's verdict and children are identical with it on or off.
     """
     prefix = tuple(prefix)
+    ctx = None
+    before = None
+    if checkpoint and _checkpoint_supported(program_name, config_name,
+                                            fault):
+        ctx = {
+            "base": (program_name, config_name, fault, seed, bool(prune)),
+            "prefix": prefix,
+            # The last bounded generation's children never run, so its
+            # nodes skip deposits entirely.
+            "deposit": max_depth != 0,
+        }
+        before = dict(_CHECKPOINTS.stats)
     program, machine, policy, history, error, pruned_at, recorder, obs = (
         _execute(program_name, config_name, dict(enumerate(prefix)),
                  sleep, len(prefix), fault, seed, max_cycles,
-                 record=prune))
+                 record=prune, checkpoint_ctx=ctx))
     verdict = None
     if pruned_at is None:
         verdict = _make_verdict(program_name, config_name, fault, seed,
@@ -700,8 +1140,14 @@ def run_node(program_name, config_name, prefix=(), sleep=(), fault=None,
                                 obs=obs)
     children = _make_children(prefix, policy, recorder, max_depth,
                               machine.config.n_cpus)
+    cache = None
+    if before is not None:
+        cache = {key: _CHECKPOINTS.stats[key] - before[key]
+                 for key in before}
+        cache["bytes"] = _CHECKPOINTS.stats["bytes"]
     return NodeOutcome(prefix=prefix, pruned=pruned_at is not None,
-                       verdict=verdict, children=tuple(children))
+                       verdict=verdict, children=tuple(children),
+                       cache=cache)
 
 
 def replay(program_name, config_name, deviations, fault=None, seed=1,
@@ -728,17 +1174,25 @@ def replay(program_name, config_name, deviations, fault=None, seed=1,
 
 
 def node_spec(program_name, config_name, prefix, sleep, fault, seed,
-              max_depth, prune, max_cycles=None):
-    """The picklable :class:`CaseSpec` for one exploration node."""
+              max_depth, prune, max_cycles=None, checkpoint=False,
+              affinity=None):
+    """The picklable :class:`CaseSpec` for one exploration node.
+
+    ``affinity`` routes the node toward the worker that ran its parent
+    (whose checkpoint cache holds the ancestors it can fork from); it
+    is a placement hint only and never affects the node's result.
+    """
     name = (f"{program_name}:{config_name}:"
             f"prefix={','.join(map(str, prefix)) or '-'}")
     if fault:
         name = f"{fault}:{name}"
     kwargs = (("prefix", tuple(prefix)), ("sleep", tuple(sleep)),
               ("fault", fault), ("seed", seed), ("max_depth", max_depth),
-              ("prune", prune), ("max_cycles", max_cycles))
+              ("prune", prune), ("max_cycles", max_cycles),
+              ("checkpoint", checkpoint))
     return CaseSpec(runner="repro.check.explore:run_node", name=name,
-                    args=(program_name, config_name), kwargs=kwargs)
+                    args=(program_name, config_name), kwargs=kwargs,
+                    affinity=affinity)
 
 
 def node_failure(spec, message):
@@ -781,6 +1235,12 @@ class ExploreReport:
     verdicts: list = dataclasses.field(default_factory=list)
     #: True if ``max_schedules`` cut the frontier before it drained.
     truncated: bool = False
+    #: Whether the snapshot cache was requested for this campaign.
+    checkpoint: bool = False
+    #: Aggregated checkpoint-cache counters (hits/misses/deposits/
+    #: evictions/fallbacks summed across nodes; ``bytes`` is the peak
+    #: per-worker gauge).  None when checkpointing was off everywhere.
+    checkpoint_stats: dict = None
 
     @property
     def failures(self):
@@ -814,7 +1274,7 @@ class ExploreReport:
 def explore(program_name, config_name, fault=None, seed=1,
             preemption_bound=2, max_depth=None, prune=True, jobs=1,
             max_schedules=None, max_cycles=None, timeout=None,
-            report=None, pool=None):
+            report=None, pool=None, checkpoint=True):
     """Explore the schedule space of one (program, config[, fault]).
 
     Breadth-first over generations: generation ``b`` holds the
@@ -826,6 +1286,13 @@ def explore(program_name, config_name, fault=None, seed=1,
     reuse one across calls) without changing any result.
     ``max_schedules`` caps the total number of runs as a safety net and
     marks the report ``truncated``.
+
+    ``checkpoint`` (default on; gated per node by
+    :func:`_checkpoint_supported`) lets each worker fork nodes from
+    cached ancestor snapshots instead of replaying from cycle 0, and
+    routes children to the worker holding their ancestor's checkpoints
+    via spec affinity.  Every verdict is identical with it on or off —
+    ``--no-checkpoint`` is the differential control.
     """
     if config_name not in CONFIGS:
         raise ValueError(f"unknown config {config_name!r}; "
@@ -835,18 +1302,25 @@ def explore(program_name, config_name, fault=None, seed=1,
     program = make_program(program_name, seed=seed)
     config = build_config(config_name, program)
     effective_prune = _should_prune(prune, fault, config)
+    effective_checkpoint = bool(
+        checkpoint and _checkpoint_supported(program_name, config_name,
+                                             fault))
     out = ExploreReport(
         program=program_name, config=config_name, fault=fault, seed=seed,
         preemption_bound=preemption_bound, max_depth=max_depth,
-        prune=effective_prune, jobs=jobs)
+        prune=effective_prune, jobs=jobs, checkpoint=effective_checkpoint)
     if not program.supports(config):
         out.skipped = True
         return out
+    if effective_checkpoint:
+        out.checkpoint_stats = {"hits": 0, "misses": 0, "deposits": 0,
+                                "evictions": 0, "fallbacks": 0,
+                                "bytes": 0}
 
     own_pool = None
     if jobs > 1 and pool is None:
         own_pool = pool = WorkerPool(jobs)
-    frontier = [((), ())]
+    frontier = [((), (), None)]
     generation = 0
     try:
         while frontier:
@@ -871,17 +1345,21 @@ def explore(program_name, config_name, fault=None, seed=1,
             specs = [
                 node_spec(program_name, config_name, prefix, sleep,
                           fault, seed, depth, effective_prune,
-                          max_cycles=max_cycles)
-                for prefix, sleep in frontier
+                          max_cycles=max_cycles,
+                          checkpoint=effective_checkpoint,
+                          affinity=affinity)
+                for prefix, sleep, affinity in frontier
             ]
             if pool is not None:
                 outcomes = pool.map(specs, timeout=timeout,
                                     failure_result=node_failure)
+                assigned = pool.last_assignments
             else:
                 outcomes = run_campaign(specs, jobs=1, timeout=timeout,
                                         failure_result=node_failure)
+                assigned = None
             next_frontier = []
-            for outcome in outcomes:
+            for position, outcome in enumerate(outcomes):
                 if outcome.pruned:
                     out.pruned += 1
                 else:
@@ -889,7 +1367,19 @@ def explore(program_name, config_name, fault=None, seed=1,
                     out.verdicts.append(outcome.verdict)
                     if report is not None:
                         report(outcome.verdict)
-                next_frontier.extend(outcome.children)
+                # Children fork from checkpoints this node deposited, so
+                # route them to the worker that ran it.
+                worker = assigned[position] if assigned is not None else None
+                next_frontier.extend(
+                    (child_prefix, child_sleep, worker)
+                    for child_prefix, child_sleep in outcome.children)
+                if outcome.cache and out.checkpoint_stats is not None:
+                    for key, value in outcome.cache.items():
+                        if key == "bytes":
+                            out.checkpoint_stats[key] = max(
+                                out.checkpoint_stats[key], value)
+                        else:
+                            out.checkpoint_stats[key] += value
             out.generations.append(len(outcomes))
             frontier = next_frontier
             generation += 1

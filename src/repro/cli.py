@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.common.params import paper_config
 from repro.harness.bench import cmd_bench
@@ -394,17 +395,23 @@ def cmd_explore(args):
     configs = (pick(args.configs, CONFIGS, "config")
                if args.configs else ["lazy-wb-assoc"])
     bound = None if args.preemption_bound < 0 else args.preemption_bound
+    if args.min_checkpoint_speedup and args.no_checkpoint:
+        raise SystemExit(
+            "--min-checkpoint-speedup needs checkpointing on; "
+            "drop --no-checkpoint")
 
     pool = None
     if args.jobs > 1:
         from repro.harness.parallel import WorkerPool
         pool = WorkerPool(args.jobs)
-    failures = []
-    truncated = False
-    try:
+
+    def campaign(checkpoint):
+        """One full sweep; returns (reports, wall-clock seconds)."""
+        reports = []
+        start = time.perf_counter()
         for program in programs:
             for config in configs:
-                result = explore(
+                reports.append(explore(
                     program, config, fault=fault, seed=args.seed,
                     preemption_bound=bound,
                     max_depth=args.max_depth or None,
@@ -412,10 +419,40 @@ def cmd_explore(args):
                     max_schedules=args.max_schedules or None,
                     timeout=args.timeout or None,
                     report=(print if args.verbose else None),
-                    pool=pool)
-                print("explore:", result.summary())
-                failures.extend(result.failures)
-                truncated |= result.truncated
+                    pool=pool, checkpoint=checkpoint))
+        return reports, time.perf_counter() - start
+
+    failures = []
+    truncated = False
+    gate_failed = False
+    try:
+        results, elapsed = campaign(not args.no_checkpoint)
+        for result in results:
+            print("explore:", result.summary())
+            if args.verbose and result.checkpoint_stats:
+                stats = result.checkpoint_stats
+                print("  checkpoint: "
+                      + ", ".join(f"{k}={stats[k]}" for k in sorted(stats)))
+            failures.extend(result.failures)
+            truncated |= result.truncated
+        if args.min_checkpoint_speedup:
+            # Differential gate: the stateless control must agree
+            # verdict-for-verdict, and checkpointing must pay its way.
+            control, control_elapsed = campaign(False)
+            mismatches = _diff_explore_reports(results, control)
+            for line in mismatches:
+                print(f"explore: DIFFERENTIAL MISMATCH {line}",
+                      file=sys.stderr)
+            speedup = control_elapsed / elapsed if elapsed else float("inf")
+            print(f"explore: checkpoint speedup {speedup:.2f}x "
+                  f"(checkpointed {elapsed:.2f}s, "
+                  f"stateless {control_elapsed:.2f}s, "
+                  f"floor {args.min_checkpoint_speedup:.2f}x)")
+            if speedup < args.min_checkpoint_speedup:
+                print("explore: checkpoint speedup below floor",
+                      file=sys.stderr)
+                gate_failed = True
+            gate_failed |= bool(mismatches)
     finally:
         if pool is not None:
             pool.close()
@@ -432,7 +469,25 @@ def cmd_explore(args):
             name = f"{failure.fault}:{name}"
         print(f"  shrunk to deviations {list(deviations)}; replay with:")
         print(f"    python -m repro explore --replay {name}")
-    return 1 if failures else 0
+    return 1 if failures or gate_failed else 0
+
+
+def _diff_explore_reports(checked, control):
+    """Human-readable differences between two explore sweeps that must
+    agree (checkpointed vs ``--no-checkpoint``)."""
+    out = []
+    for a, b in zip(checked, control):
+        name = f"{a.program}:{a.config}"
+        for field in ("explored", "pruned", "skipped", "truncated"):
+            va, vb = getattr(a, field), getattr(b, field)
+            if va != vb:
+                out.append(f"{name}: {field} {va} != {vb}")
+        va = sorted(str(v) for v in a.verdicts)
+        vb = sorted(str(v) for v in b.verdicts)
+        if va != vb:
+            out.append(f"{name}: verdict sets differ "
+                       f"({len(va)} vs {len(vb)} schedules)")
+    return out
 
 
 def cmd_conform(args):
@@ -678,6 +733,16 @@ def build_parser():
                         "(any value yields identical results)")
     p.add_argument("--timeout", type=float, default=0.0,
                    help="per-node timeout in seconds (parallel runs)")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="disable the prefix checkpoint cache and replay "
+                        "every node from cycle 0 (the differential "
+                        "control; verdicts are identical either way)")
+    p.add_argument("--min-checkpoint-speedup", type=float, default=0.0,
+                   help="after the checkpointed sweep, rerun it with "
+                        "--no-checkpoint in the same process, fail "
+                        "unless the verdicts match exactly and the "
+                        "checkpointed sweep was at least this many "
+                        "times faster (0 = skip the gate)")
     p.add_argument("--verbose", action="store_true",
                    help="print every schedule verdict")
     p.set_defaults(fn=cmd_explore)

@@ -103,6 +103,16 @@ class Stats:
         """A plain-dict snapshot of every counter."""
         return dict(self._counters)
 
+    def snapshot_state(self):
+        """Capture every counter (for machine snapshot/restore)."""
+        return dict(self._counters)
+
+    def restore_state(self, saved):
+        """Overwrite the counters *in place*: BoundCounter handles bind
+        the underlying dict object, so the dict must never be rebound."""
+        self._counters.clear()
+        self._counters.update(saved)
+
     def __repr__(self):
         entries = ", ".join(
             f"{name}={value}" for name, value in sorted(self._counters.items())

@@ -38,7 +38,6 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import multiprocessing
-import os
 import pickle
 import queue
 import signal
@@ -65,12 +64,20 @@ class CaseSpec:
     (``kwargs`` is a tuple of ``(key, value)`` pairs so the spec itself
     stays hashable).  ``name`` is the case's replayable name, used only
     for failure reporting.
+
+    ``affinity`` is a soft placement hint: :meth:`WorkerPool.map`
+    prefers the worker at position ``affinity % jobs`` when it is idle,
+    falling back to any idle worker rather than stalling the wave.
+    Wave-structured drivers use it to land a case on the worker whose
+    process-local caches its ancestor warmed (the model checker's
+    checkpoint cache); it never affects results, only placement.
     """
 
     runner: str
     name: str
     args: tuple = ()
     kwargs: tuple = ()
+    affinity: int = None
 
 
 @dataclasses.dataclass
@@ -322,10 +329,28 @@ class WorkerPool:
                 worker.kill()
                 workers[pos] = _Worker(self._ctx, self._result_queue)
         results = [_UNSET] * len(specs)
+        #: Worker position each case was dispatched to, by case index —
+        #: the feedback channel affinity-aware drivers use to tag the
+        #: next wave (a child lands where its ancestor's caches live).
+        self.last_assignments = [None] * len(specs)
         n_done = 0
         emitted = 0
-        next_index = 0
+        pending = list(range(len(specs)))
         idle = list(workers)
+
+        def take_for(position):
+            """The next case for the idle worker at ``position``:
+            its affine case if one is pending, else the first pending
+            unpinned case, else (work-conserving) the oldest pending
+            case even if pinned elsewhere."""
+            fallback = None
+            for slot, index in enumerate(pending):
+                affinity = specs[index].affinity
+                if affinity is not None and affinity % self.jobs == position:
+                    return pending.pop(slot)
+                if fallback is None and affinity is None:
+                    fallback = slot
+            return pending.pop(fallback if fallback is not None else 0)
 
         def finish(index, result):
             nonlocal n_done, emitted
@@ -345,14 +370,15 @@ class WorkerPool:
             idle.append(fresh)
 
         while n_done < len(specs):
-            while idle and next_index < len(specs):
+            while idle and pending:
                 worker = idle.pop()
                 if not worker.alive():   # died idle; replace and retry
                     respawn(worker)
                     continue
-                worker.assign(epoch, next_index, specs[next_index],
-                              timeout)
-                next_index += 1
+                position = workers.index(worker)
+                index = take_for(position)
+                self.last_assignments[index] = position
+                worker.assign(epoch, index, specs[index], timeout)
             try:
                 r_epoch, index, blob = self._result_queue.get(
                     timeout=_POLL_S)

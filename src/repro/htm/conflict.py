@@ -79,6 +79,15 @@ class DetectorBase:
         self._sink(Violation(victim=victim, mask=mask, addr=addr,
                              source=source))
 
+    # -- snapshot support ------------------------------------------------------
+
+    def snapshot_state(self):
+        """Lazy detectors are stateless beyond the shared stats tree."""
+        return None
+
+    def restore_state(self, saved):
+        pass
+
     # -- interface -----------------------------------------------------------
 
     def on_load(self, cpu_id, unit):
@@ -162,6 +171,12 @@ class EagerDetectorBase(DetectorBase):
         self._stall_counts = {}
         self._n_stalls = stats.counter("conflicts.stalls")
         self._n_self_aborts = stats.counter("conflicts.self_aborts")
+
+    def snapshot_state(self):
+        return dict(self._stall_counts)
+
+    def restore_state(self, saved):
+        self._stall_counts = dict(saved)
 
     def _resolve(self, cpu_id, unit, victims):
         """Decide the fate of an access conflicting with ``victims``

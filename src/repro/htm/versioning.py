@@ -33,7 +33,11 @@ class UndoEntry:
     level: int
     addr: int
     old: object
-    kind: str = "tx" 
+    kind: str = "tx"
+
+    def clone(self):
+        """An independent copy (entries mutate in place on commit)."""
+        return UndoEntry(self.level, self.addr, self.old, self.kind)
 
 
 class VersionManagerBase:
@@ -56,6 +60,22 @@ class VersionManagerBase:
         if self.n_stores and self._stores_key:
             self._stats.add(self._stores_key, self.n_stores)
             self.n_stores = 0
+
+    # -- snapshot support --------------------------------------------------------
+
+    def snapshot_state(self):
+        """Capture common state; subclasses append their own fields."""
+        return (
+            [entry.clone() for entry in self._im_undo],
+            set(self._im_logged),
+            self.n_stores,
+        )
+
+    def restore_state(self, saved):
+        im_undo, im_logged, n_stores = saved
+        self._im_undo = [entry.clone() for entry in im_undo]
+        self._im_logged = set(im_logged)
+        self.n_stores = n_stores
 
     # -- immediate accesses ----------------------------------------------------
 
@@ -147,6 +167,19 @@ class WriteBufferVersioning(VersionManagerBase):
     def _relevel(self):
         self._levels_desc = sorted(self._buffers, reverse=True)
 
+    def snapshot_state(self):
+        return (
+            super().snapshot_state(),
+            {level: dict(buffer) for level, buffer in self._buffers.items()},
+        )
+
+    def restore_state(self, saved):
+        base, buffers = saved
+        super().restore_state(base)
+        self._buffers = {
+            level: dict(buffer) for level, buffer in buffers.items()}
+        self._relevel()
+
     def begin_level(self, level):
         self._buffers[level] = {}
         self._relevel()
@@ -230,6 +263,23 @@ class UndoLogVersioning(VersionManagerBase):
 
     def begin_level(self, level):
         self._level_writes[level] = set()
+
+    def snapshot_state(self):
+        return (
+            super().snapshot_state(),
+            [entry.clone() for entry in self._log],
+            set(self._logged),
+            {level: set(addrs)
+             for level, addrs in self._level_writes.items()},
+        )
+
+    def restore_state(self, saved):
+        base, log, logged, level_writes = saved
+        super().restore_state(base)
+        self._log = [entry.clone() for entry in log]
+        self._logged = set(logged)
+        self._level_writes = {
+            level: set(addrs) for level, addrs in level_writes.items()}
 
     def im_store(self, level, addr, value):
         """``imst`` on an undo-log machine shares the transactional FILO

@@ -37,6 +37,16 @@ class CodeRegistry:
         except KeyError:
             raise SimulationError(f"jump to unregistered code id {code_id}")
 
+    def reset(self):
+        """Forget every registration (machine re-use across runs).
+
+        Registration order is deterministic per program setup, so a
+        reset followed by an identical setup reproduces the same ids —
+        the property the snapshot/restore layer relies on."""
+        self._code.clear()
+        self._ids.clear()
+        self._next = 1
+
     def __contains__(self, code_id):
         return code_id in self._code
 

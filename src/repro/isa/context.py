@@ -43,7 +43,7 @@ import dataclasses
 from types import MethodType
 
 from repro.common.errors import IsaError, SimulationError
-from repro.htm.conflict import PROCEED, SELF_ABORT, STALL
+from repro.htm.conflict import SELF_ABORT, STALL
 from repro.htm.system import VALIDATED
 from repro.sim import ops as O
 

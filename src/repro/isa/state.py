@@ -202,6 +202,28 @@ class IsaState:
             else:
                 del self._live[addr]
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        """Immutable capture of every register (except the identity)."""
+        return (
+            self.xtcbptr_base, self.xtcbptr_top, self.xchcode,
+            self.xvhcode, self.xahcode, self.xvpc, self.xvaddr,
+            self.xvcurrent, tuple(self._vqueue), dict(self._live),
+            self.viol_reporting, self.xabort_code, self.requeue_enabled,
+        )
+
+    def restore_state(self, saved):
+        """Overwrite every register from a :meth:`snapshot_state` capture."""
+        (self.xtcbptr_base, self.xtcbptr_top, self.xchcode,
+         self.xvhcode, self.xahcode, self.xvpc, self.xvaddr,
+         self.xvcurrent, vqueue, live, self.viol_reporting,
+         self.xabort_code, self.requeue_enabled) = saved
+        self._vqueue = deque(vqueue)
+        self._live = dict(live)
+
     def clear_masks_at_and_above(self, level):
         """Drop the violation bits for ``level`` and deeper, both current
         and queued (performed by ``xrwsetclear``, paper §4.3/§4.6)."""

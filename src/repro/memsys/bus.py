@@ -51,3 +51,10 @@ class Bus:
     @property
     def busy_until(self):
         return self._busy_until
+
+    def snapshot_state(self):
+        """Occupancy is the bus's only non-counter state."""
+        return self._busy_until
+
+    def restore_state(self, saved):
+        self._busy_until = saved

@@ -125,6 +125,24 @@ class Cache:
             return True
         return False
 
+    def snapshot_state(self):
+        """Residency (in LRU order) plus the deferred event counters.
+
+        The shared registry is *not* captured here — the memory model
+        owns it and restores it machine-wide in one pass."""
+        return (
+            tuple(tuple(cache_set) for cache_set in self._sets),
+            (self.n_hits, self.n_misses, self.n_evictions,
+             self.n_fills, self.n_invalidations),
+        )
+
+    def restore_state(self, saved):
+        sets, counters = saved
+        self._sets = [
+            OrderedDict((line, True) for line in lines) for lines in sets]
+        (self.n_hits, self.n_misses, self.n_evictions,
+         self.n_fills, self.n_invalidations) = counters
+
     def contains(self, addr):
         """Presence check without touching LRU state or stats."""
         line = addr - addr % self.line_size

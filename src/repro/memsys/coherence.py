@@ -140,6 +140,21 @@ class MsiMemory(HierarchicalMemory):
             self.l2[other].invalidate(line)
             self._msi_stats.add("invalidations")
 
+    # -- snapshot support --------------------------------------------------------
+
+    def snapshot_state(self):
+        return (
+            super().snapshot_state(),
+            {line: dict(holders)
+             for line, holders in self._states.items()},
+        )
+
+    def restore_state(self, saved):
+        base, states = saved
+        super().restore_state(base)
+        self._states = {
+            line: dict(holders) for line, holders in states.items()}
+
     # -- HTM hooks --------------------------------------------------------------
 
     def commit_broadcast(self, cpu_id, line_addrs, now):

@@ -37,6 +37,13 @@ class MemoryModel:
     def flush_stats(self):
         """Fold deferred event counts into the stats tree (run end)."""
 
+    def snapshot_state(self):
+        """Capture timing state (repro.sim.snapshot)."""
+        return None
+
+    def restore_state(self, saved):
+        pass
+
 
 class FlatMemory(MemoryModel):
     """Every access costs one cycle; broadcasts are free."""
@@ -152,6 +159,39 @@ class HierarchicalMemory(MemoryModel):
             cache.flush_stats()
         for cache in self.l2:
             cache.flush_stats()
+
+    def snapshot_state(self):
+        """Bus, cache residency, and the shared residency registry.
+
+        The registry maps lines to *cache objects*; it is captured as
+        (owner, level-name) identities so a restore can rebuild it
+        against the restoring machine's own cache objects in the same
+        insertion order (snoop order is deterministic because of it)."""
+        return (
+            self.bus.snapshot_state(),
+            tuple(cache.snapshot_state() for cache in self.l1),
+            tuple(cache.snapshot_state() for cache in self.l2),
+            tuple(
+                (line, tuple((cache.owner, cache.name)
+                             for cache in holders))
+                for line, holders in self.residency.items()
+            ),
+        )
+
+    def restore_state(self, saved):
+        bus, l1, l2, residency = saved
+        self.bus.restore_state(bus)
+        for cache, cache_saved in zip(self.l1, l1):
+            cache.restore_state(cache_saved)
+        for cache, cache_saved in zip(self.l2, l2):
+            cache.restore_state(cache_saved)
+        self.residency.clear()
+        for line, holders in residency:
+            rebuilt = {}
+            for owner, name in holders:
+                level = self.l1 if name == "l1" else self.l2
+                rebuilt[level[owner]] = True
+            self.residency[line] = rebuilt
 
 
 def make_memory_model(config, stats):

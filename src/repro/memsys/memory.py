@@ -51,5 +51,10 @@ class MemoryImage:
         """A plain-dict copy of all written words (for checking invariants)."""
         return dict(self._words)
 
+    def restore(self, saved):
+        """Overwrite the image from a :meth:`snapshot` copy, in place."""
+        self._words.clear()
+        self._words.update(saved)
+
     def __len__(self):
         return len(self._words)

@@ -70,6 +70,19 @@ class _CpuAccount:
         self.last_end = 0
         self.last_bucket = None
 
+    def snapshot_state(self):
+        """The books as a flat tuple (:mod:`repro.sim.snapshot`
+        protocol; field order mirrors ``__slots__``)."""
+        return (self.committed, self.wasted, self.handler, self.overhead,
+                self.idle, self.spec, list(self.marks), self.depth,
+                self.last_end, self.last_bucket)
+
+    def restore_state(self, saved):
+        (self.committed, self.wasted, self.handler, self.overhead,
+         self.idle, self.spec, marks, self.depth,
+         self.last_end, self.last_bucket) = saved
+        self.marks = list(marks)
+
     def take_back(self, amount):
         """Remove ``amount`` cycles charged past the machine's final
         time (the last op's latency can overshoot the end of the run).

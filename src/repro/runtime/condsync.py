@@ -28,7 +28,6 @@ RESUME: the scheduler transaction is never rolled back.
 from __future__ import annotations
 
 from repro.common.addr import line_of
-from repro.common.params import WORD_SIZE
 from repro.mem.queue import BoundedQueue
 from repro.runtime.core import RESUME, RETRY_CODE
 from repro.sim import ops as O

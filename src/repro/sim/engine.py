@@ -52,6 +52,9 @@ from repro.sim.schedule import DeterministicPolicy
 #: engine declares the workload unrunnable on this hardware configuration.
 CAPACITY_RETRY_LIMIT = 16
 
+#: Shared journal record for a parked-op re-issue (no generator call).
+_FEED_PARKED = ("p",)
+
 
 class Machine:
     """One simulated CMP: CPUs, memory system, HTM, and the scheduler."""
@@ -85,6 +88,22 @@ class Machine:
         #: read/write footprint; a None hook costs one attribute probe
         #: per step and leaves simulated cycle counts untouched.
         self.step_hook = None
+        #: Step journal (repro.sim.snapshot.StepJournal) when snapshot
+        #: checkpointing is enabled.  None keeps every hot path at a
+        #: single attribute probe.
+        self._journal = None
+        #: Steps executed before this run's loop started: a machine
+        #: restored from a mid-run snapshot resumes the count here so
+        #: ``engine.steps`` matches the straight-line run bit-for-bit.
+        self._steps_base = 0
+        #: Called as ``checkpoint_hook(self, n_steps)`` after every
+        #: journaled step where ``n_steps`` is a multiple of
+        #: ``checkpoint_interval``; the explorer deposits prefix
+        #: checkpoints through it.  Only probed when the journal is
+        #: enabled.  Gating on the interval here keeps the per-step cost
+        #: of a sparse hook at one modulo instead of a Python call.
+        self.checkpoint_hook = None
+        self.checkpoint_interval = 1
         self._capacity_retries = [0] * config.n_cpus
         #: Heap-backed ready queue: (resume_at, cpu_id) entries, kept for
         #: the deterministic policy so picking the next CPU is O(log n)
@@ -248,6 +267,14 @@ class Machine:
                     hook = self.step_hook
                     if hook is not None:
                         hook(cpu)
+                    journal = self._journal
+                    if journal is not None:
+                        journal.close_step(self, cpu)
+                        chook = self.checkpoint_hook
+                        if chook is not None:
+                            n_steps = len(journal.entries)
+                            if n_steps % self.checkpoint_interval == 0:
+                                chook(self, n_steps)
                     if not (use_heap and cpu.state == RUNNABLE
                             and cpu.frames):
                         break
@@ -271,7 +298,7 @@ class Machine:
             # must describe the run that actually happened, not only
             # clean exits.
             self.stats.set("cycles", self.now)
-            self.stats.add("engine.steps", steps)
+            self.stats.add("engine.steps", steps + self._steps_base)
         for failed in self.cpus:
             if failed.failure is not None:
                 raise failed.failure
@@ -307,6 +334,9 @@ class Machine:
         # handler is not recursively interrupted unless it deliberately
         # re-enables reporting (xenviolrep before an open-nested
         # transaction, paper footnote 1).
+        journal = self._journal
+        if journal is not None:
+            journal.begin_step(cpu, self.now)
         if cpu.throw_exc is None:
             if cpu.pending_abort:
                 cpu.pending_abort = False
@@ -328,16 +358,22 @@ class Machine:
         parked = cpu.parked
         frame_index = len(cpu.frames) - 1
         if parked and frame_index in parked and cpu.throw_exc is None:
+            if journal is not None:
+                journal.stage_feed(_FEED_PARKED)
             op = parked.pop(frame_index)
         else:
             exc = cpu.throw_exc
             try:
                 if exc is not None:
                     cpu.throw_exc = None
+                    if journal is not None:
+                        journal.stage_feed(("t", exc))
                     op = cpu.frames[-1].throw(exc)
                 else:
                     value = cpu.send_value
                     cpu.send_value = None
+                    if journal is not None:
+                        journal.stage_feed(("s", value))
                     op = cpu.frames[-1].send(value)
             except StopIteration as stop:
                 self._frame_finished(cpu, stop.value)
@@ -495,6 +531,11 @@ class Machine:
         cpu.frames.append(factory(cpu))
         cpu.dispatch_depth += 1
         self._n_dispatches[kind][cpu.cpu_id].add()
+        if self._journal is not None:
+            # Post-pop register values: the ghost replay cannot rerun
+            # pop_next (its queue drifts), so the record carries them.
+            self._journal.stage_push(
+                kind, code_id, isa.xvcurrent, isa.xvaddr, isa.xvpc)
 
     def _handle_capacity_abort(self, cpu, overflow):
         self._capacity_retries[cpu.cpu_id] += 1
@@ -523,6 +564,8 @@ class Machine:
         cpu.wake_tokens = 0
         cpu.throw_exc = CapacityAbort(1, overflow.detail)
         cpu.resume_at = self.now + 1
+        if self._journal is not None:
+            self._journal.stage_unwound()
 
     def _kill(self, cpu):
         if cpu.frames and not cpu.daemon:
@@ -542,6 +585,39 @@ class Machine:
         cpu.pending_abort = False
         cpu.state = DONE
         self.htm.abandon_all(cpu.cpu_id)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def enable_journal(self):
+        """Start recording the step journal snapshots replay from.
+        Returns the journal; idempotent."""
+        if self._journal is None:
+            from repro.sim.snapshot import StepJournal
+
+            self._journal = StepJournal()
+        return self._journal
+
+    def snapshot(self):
+        """Deep, deterministic capture of the whole machine mid-run.
+
+        Requires :meth:`enable_journal` to have been called before the
+        run started; see :mod:`repro.sim.snapshot` for the model."""
+        from repro.sim.snapshot import capture
+
+        return capture(self)
+
+    def restore(self, snapshot, setup_fn, restore_policy=True):
+        """Restore this machine to ``snapshot`` so a subsequent
+        :meth:`run` resumes mid-schedule.  ``setup_fn(machine)`` must
+        re-run the original program setup (same program, same seed) and
+        return the program object.  ``restore_policy=False`` leaves
+        ``self.policy`` untouched for callers that install their own
+        (the explore layer gives each child its own controlled policy)."""
+        from repro.sim.snapshot import restore
+
+        return restore(self, snapshot, setup_fn, restore_policy)
 
     # ------------------------------------------------------------------
     # Results

@@ -8,7 +8,6 @@ from repro.common.stats import Stats
 from repro.memsys.coherence import MsiMemory
 from repro.memsys.hierarchy import make_memory_model
 from repro.runtime.core import Runtime
-from repro.sim import ops as O
 from repro.sim.engine import Machine
 
 BASE = 0x16_0000

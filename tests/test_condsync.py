@@ -1,6 +1,5 @@
 """Conditional-synchronization runtime tests (paper §5, Figure 3)."""
 
-import pytest
 
 from repro.common.params import functional_config, paper_config
 from repro.mem.layout import SharedArena

@@ -4,7 +4,6 @@ resolution policies, strong atomicity, and the validated-set guarantee.
 
 import pytest
 
-from repro.common.errors import TxRollback
 from repro.common.params import functional_config
 from repro.runtime.core import Runtime
 from repro.sim import ops as O

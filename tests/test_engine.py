@@ -7,8 +7,6 @@ from repro.common.params import functional_config, paper_config
 from repro.sim import ops as O
 from repro.sim.engine import Machine
 
-from tests.conftest import make_bench
-
 
 def simple(ops_then_result):
     """Build a program yielding fixed ops."""

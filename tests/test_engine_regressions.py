@@ -4,12 +4,9 @@ Each test reconstructs the interleaving that exposed the bug; see
 DESIGN.md §6b for the narrative.
 """
 
-import pytest
 
-from repro.common.errors import TxRollback
 from repro.common.params import functional_config
 from repro.runtime.core import RESUME, Runtime
-from repro.sim import ops as O
 from repro.sim.engine import Machine
 
 SHARED = 0x12_0000

@@ -6,7 +6,6 @@ speculative state — and then propagate to the code outside, unwinding
 nested transactions level by level.
 """
 
-import pytest
 
 from repro.common.params import functional_config
 from repro.runtime.core import Runtime

@@ -21,7 +21,6 @@ from repro.check.explore import (
     explore,
     parse_deviations,
     replay,
-    run_node,
 )
 from repro.check.fuzz import run_case, shrink_change_points
 from repro.check.programs import LITMUS_PROGRAMS, PROGRAMS

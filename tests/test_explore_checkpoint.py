@@ -1,0 +1,110 @@
+"""The explorer's prefix checkpoint cache (repro.check.explore).
+
+Checkpointing is a pure optimisation: every node must produce the exact
+verdict it would have produced when replayed from cycle 0.  These tests
+enforce that differentially — same campaign with the cache on and off,
+byte-identical reports — and under adversarial cache pressure (a budget
+that can hold roughly one checkpoint, so every deposit evicts).
+
+The snapshot layer itself (capture → restore → resume, bit-for-bit) is
+pinned in tests/test_snapshot.py; this file is about the *cache policy*
+staying invisible to exploration semantics.
+"""
+
+import pytest
+
+import repro.check.explore as explore_mod
+from repro.check.explore import CheckpointCache, explore
+
+CONFIG = "lazy-wb-assoc"
+PROGRAMS = ("litmus-sb", "litmus-mp", "litmus-inc")
+
+
+def _fingerprint(report):
+    """Everything a campaign can observably produce, order-insensitive
+    only where the explorer itself guarantees order (verdict list order
+    is part of the contract, so it is kept)."""
+    return (
+        report.program, report.config, report.fault, report.seed,
+        report.skipped, report.explored, report.pruned,
+        report.truncated, report.generations,
+        [(v.name, v.failed, v.signature) for v in report.verdicts],
+    )
+
+
+def _fresh_cache(**kwargs):
+    """Install a fresh worker-local cache; returns it for inspection."""
+    cache = CheckpointCache(**kwargs)
+    explore_mod._CHECKPOINTS = cache
+    explore_mod._CONTEXTS.clear()
+    return cache
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache():
+    yield
+    _fresh_cache()
+
+
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_checkpoint_matches_stateless(program):
+    stateless = explore(program, CONFIG, preemption_bound=2,
+                        checkpoint=False)
+    _fresh_cache()
+    checkpointed = explore(program, CONFIG, preemption_bound=2,
+                           checkpoint=True)
+    assert _fingerprint(checkpointed) == _fingerprint(stateless)
+    assert checkpointed.checkpoint
+    assert not stateless.checkpoint
+
+
+def test_checkpoint_cache_actually_used():
+    cache = _fresh_cache()
+    report = explore("litmus-inc", CONFIG, preemption_bound=2,
+                     checkpoint=True)
+    stats = report.checkpoint_stats
+    assert stats is not None
+    assert stats["deposits"] > 0
+    assert stats["hits"] > 0
+    # A fallback means a restore failed and the node silently replayed
+    # from cycle 0 — allowed for safety, but it must never happen on
+    # the supported litmus configs.
+    assert stats["fallbacks"] == 0
+    assert cache.stats["hits"] == stats["hits"]
+
+
+def test_eviction_pressure_keeps_verdicts_identical():
+    """A budget that fits roughly one checkpoint forces an eviction on
+    nearly every deposit; verdicts must not notice."""
+    stateless = explore("litmus-sb", CONFIG, preemption_bound=2,
+                        checkpoint=False)
+    _fresh_cache(budget=8 * 1024)
+    squeezed = explore("litmus-sb", CONFIG, preemption_bound=2,
+                       checkpoint=True)
+    assert _fingerprint(squeezed) == _fingerprint(stateless)
+    stats = squeezed.checkpoint_stats
+    assert stats["evictions"] > 0
+    assert stats["fallbacks"] == 0
+
+
+def test_checkpoint_matches_stateless_parallel():
+    """Sharded exploration with worker-local caches and checkpoint
+    affinity still reproduces the stateless campaign exactly."""
+    kwargs = dict(preemption_bound=2, max_schedules=2000)
+    stateless = explore("litmus-mp", CONFIG, jobs=1, checkpoint=False,
+                        **kwargs)
+    checkpointed = explore("litmus-mp", CONFIG, jobs=3, checkpoint=True,
+                           **kwargs)
+    assert _fingerprint(checkpointed)[:-1] == _fingerprint(stateless)[:-1]
+    assert [(v.name, v.failed, v.signature)
+            for v in checkpointed.verdicts] \
+        == [(v.name, v.failed, v.signature) for v in stateless.verdicts]
+
+
+def test_stateless_mode_deposits_nothing():
+    cache = _fresh_cache()
+    report = explore("litmus-sb", CONFIG, preemption_bound=1,
+                     checkpoint=False)
+    assert report.checkpoint_stats is None
+    assert cache.stats["deposits"] == 0
+    assert not cache._entries

@@ -7,13 +7,12 @@ from repro.common.errors import ConfigError, TxAborted
 from repro.common.params import functional_config
 from repro.runtime.contention import (
     ExponentialBackoff,
-    ImmediateRetry,
     RetryCap,
     run_with_policy,
 )
 from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
-from repro.sim.trace import ALL_KINDS, Tracer
+from repro.sim.trace import Tracer
 
 SHARED = 0xF_0000
 

@@ -5,7 +5,6 @@ outermost transaction — the behaviour of the systems the paper compares
 against.  These tests pin down exactly what that means.
 """
 
-import pytest
 
 from repro.common.params import functional_config
 from repro.runtime.core import Runtime

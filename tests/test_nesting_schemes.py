@@ -128,7 +128,6 @@ class TestFunctionalEquivalence:
     def test_same_final_memory(self, n_cpus):
         from repro.sim.engine import Machine
         from repro.runtime.core import Runtime
-        from repro.sim import ops as O
 
         def build(scheme):
             machine = Machine(functional_config(

@@ -2,12 +2,9 @@
 masks, open-within-open, and the paper's deliberate departure from
 Moss/Hosking open nesting."""
 
-import pytest
 
-from repro.common.errors import TxRollback
 from repro.common.params import functional_config
-from repro.runtime.core import RESUME, Runtime
-from repro.sim import ops as O
+from repro.runtime.core import Runtime
 from repro.sim.engine import Machine
 
 A = 0x1B_0000

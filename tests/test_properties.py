@@ -15,7 +15,6 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.common.errors import TxRollback
 from repro.common.params import functional_config
 from repro.common.stats import Stats
 from repro.htm.versioning import UndoLogVersioning, WriteBufferVersioning

@@ -6,7 +6,6 @@ import io
 import json
 import types
 
-import pytest
 
 from repro.harness.export import (
     comparison_to_dict,

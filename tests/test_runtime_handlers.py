@@ -3,11 +3,10 @@ the resume path, and the published instruction overheads."""
 
 import pytest
 
-from repro.common.errors import IsaError, TxAborted, TxRollback
+from repro.common.errors import IsaError, TxAborted
 from repro.common.params import functional_config
 from repro.runtime import overheads
 from repro.runtime.core import RESUME, Runtime
-from repro.sim import ops as O
 from repro.sim.engine import Machine
 
 SHARED = 0x8_0000

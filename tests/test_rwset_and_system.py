@@ -6,7 +6,7 @@ from repro.common.errors import IsaError
 from repro.common.params import functional_config
 from repro.common.stats import Stats
 from repro.htm.rwset import RwSets
-from repro.htm.system import ACTIVE, COMMITTED, VALIDATED, HtmSystem
+from repro.htm.system import ACTIVE, VALIDATED, HtmSystem
 from repro.memsys.memory import MemoryImage
 
 A = 0x100

@@ -1,6 +1,5 @@
 """The time-syscall demonstration of open nesting (paper §4.5)."""
 
-import pytest
 
 from repro.common.params import functional_config
 from repro.mem.layout import SharedArena

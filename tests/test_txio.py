@@ -1,6 +1,5 @@
 """Transactional I/O library tests (paper Sections 5 and 7.2)."""
 
-import pytest
 
 from repro.common.errors import TxAborted
 from repro.common.params import functional_config
@@ -189,7 +188,7 @@ class TestInput:
             def body(t):
                 rounds.append(1)
                 items = yield from io.read(t, source, 2)
-                value = yield t.load(SHARED)
+                yield t.load(SHARED)
                 if len(rounds) == 1:
                     yield t.alu(800)
                 return items

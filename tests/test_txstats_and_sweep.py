@@ -1,6 +1,5 @@
 """Tests: the per-transaction statistics collector and the sweep harness."""
 
-import pytest
 
 from repro.common.params import functional_config, paper_config
 from repro.harness.sweep import (
